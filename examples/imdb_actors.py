@@ -1,0 +1,77 @@
+"""Domain example: mapping actors to their movies on the IMDB database.
+
+Shows how different constraint resolutions describe the same target schema
+(person name, movie title, rating) and how metadata constraints pin an
+otherwise unknown numeric column to the movie rating.  Run with::
+
+    python examples/imdb_actors.py
+"""
+
+from __future__ import annotations
+
+from repro import Executor, GenerationLimits, MappingSpec, Prism, load_imdb
+from repro.constraints import (
+    ExactValue,
+    OneOf,
+    Range,
+    parse_metadata_constraint,
+)
+
+
+def main() -> None:
+    database = load_imdb()
+    prism = Prism(database, limits=GenerationLimits(max_candidates=300))
+    executor = Executor(database)
+    print(f"source database: imdb ({database.total_rows} rows)")
+
+    # ------------------------------------------------------------------
+    # Round 1: high resolution — the user knows an exact (actor, movie) pair.
+    # ------------------------------------------------------------------
+    exact_spec = MappingSpec(2)
+    exact_spec.add_sample_cells(
+        [ExactValue("Leonardo DiCaprio"), ExactValue("Inception")]
+    )
+    exact_result = prism.discover(exact_spec)
+    print(f"\n[high resolution] {exact_result.num_queries} mappings for "
+          "(actor, movie title):")
+    for sql in exact_result.sql()[:3]:
+        print("  ", sql)
+
+    # ------------------------------------------------------------------
+    # Round 2: medium resolution — the user is unsure which Nolan film it
+    # was and only remembers the decade.
+    # ------------------------------------------------------------------
+    medium_spec = MappingSpec(3)
+    medium_spec.add_sample_cells(
+        [
+            ExactValue("Christopher Nolan"),
+            OneOf(["Inception", "Interstellar", "The Prestige"]),
+            Range(2000, 2015),
+        ]
+    )
+    medium_result = prism.discover(medium_spec)
+    print(f"\n[medium resolution] {medium_result.num_queries} mappings for "
+          "(director, movie, year):")
+    for sql in medium_result.sql()[:3]:
+        print("  ", sql)
+
+    # ------------------------------------------------------------------
+    # Round 3: low resolution — the third column is only known to be a
+    # rating-like decimal bounded by 10.
+    # ------------------------------------------------------------------
+    low_spec = MappingSpec(2)
+    low_spec.add_sample_cells([ExactValue("The Dark Knight"), None])
+    low_spec.set_metadata(
+        1, parse_metadata_constraint("DataType=='decimal' AND MaxValue<=10")
+    )
+    low_result = prism.discover(low_spec)
+    print(f"\n[low resolution] {low_result.num_queries} mappings for "
+          "(movie, rating-like column):")
+    for query in low_result.queries[:3]:
+        print("  ", query)
+        for row in executor.execute(query, limit=2):
+            print("      e.g.", row)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Kept so that ``pip install -e .`` works in offline environments where the
+PEP 517 build path is unavailable (no ``wheel`` package and no network to
+fetch an isolated build backend).  All project metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,6 @@
+"""Baseline systems the paper compares against or builds upon."""
+
+from repro.baselines.filter_baseline import FilterBaseline
+from repro.baselines.mweaver import MWeaverBaseline, UnsupportedSpecError
+
+__all__ = ["FilterBaseline", "MWeaverBaseline", "UnsupportedSpecError"]

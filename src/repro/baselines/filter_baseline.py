@@ -1,0 +1,50 @@
+"""The "Filter" baseline scheduler wrapped as a standalone engine.
+
+The paper's §2.4 compares "Prism with Filter": the same multiresolution
+pipeline, but with the filter-scheduling heuristic of Shen et al.
+(SIGMOD 2014), where a filter's failure probability is assumed
+proportional to its join-path length.  This module exposes that
+configuration as a first-class baseline so experiments can call it
+symmetrically with Prism.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.constraints.spec import MappingSpec
+from repro.dataset.database import Database
+from repro.discovery.candidates import GenerationLimits
+from repro.discovery.engine import Prism
+from repro.discovery.result import DiscoveryResult
+
+__all__ = ["FilterBaseline"]
+
+
+class FilterBaseline:
+    """Multiresolution discovery with path-length filter scheduling."""
+
+    def __init__(
+        self,
+        database: Database,
+        time_limit: float = 60.0,
+        limits: Optional[GenerationLimits] = None,
+    ):
+        self._engine = Prism(
+            database,
+            scheduler="filter",
+            time_limit=time_limit,
+            limits=limits,
+            train_bayesian=False,
+        )
+
+    @property
+    def database(self) -> Database:
+        """The source database."""
+        return self._engine.database
+
+    def discover(
+        self, spec: MappingSpec, time_limit: Optional[float] = None
+    ) -> DiscoveryResult:
+        """Discover mappings using the path-length scheduling heuristic."""
+        return self._engine.discover(spec, scheduler="filter", time_limit=time_limit)

@@ -1,0 +1,21 @@
+"""Bayesian selectivity models used by Prism's filter scheduler.
+
+Single-relation models estimate the probability that a record matching the
+sample constraint exists inside one relation; join-indicator models (after
+Getoor et al., SIGMOD 2001) extend the estimate across foreign-key joins.
+"""
+
+from repro.bayesian.distributions import ColumnDistribution
+from repro.bayesian.estimator import SelectivityEstimator
+from repro.bayesian.join_indicator import JoinIndicatorModel
+from repro.bayesian.single_relation import SingleRelationModel
+from repro.bayesian.training import BayesianModelSet, train_models
+
+__all__ = [
+    "BayesianModelSet",
+    "ColumnDistribution",
+    "JoinIndicatorModel",
+    "SelectivityEstimator",
+    "SingleRelationModel",
+    "train_models",
+]

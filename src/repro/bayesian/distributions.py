@@ -1,0 +1,177 @@
+"""Per-column value distributions.
+
+A :class:`ColumnDistribution` summarises one column of one relation:
+frequencies of (case-folded) values plus a numeric histogram for numeric
+columns.  It answers the question the Bayesian scheduler keeps asking:
+*what is the probability that a uniformly random row of this relation
+satisfies a given value constraint on this column?*
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from repro.constraints.values import (
+    AnyValue,
+    Conjunction,
+    Disjunction,
+    ExactValue,
+    OneOf,
+    Predicate,
+    Range,
+    ValueConstraint,
+)
+from repro.dataset.index import normalize_term
+from repro.dataset.types import DataType
+
+__all__ = ["ColumnDistribution"]
+
+_HISTOGRAM_BINS = 16
+_UNSEEN_PROBABILITY = 0.5  # chance assigned to a keyword never seen in the column
+
+
+class ColumnDistribution:
+    """Value statistics of a single column used for selectivity estimation."""
+
+    def __init__(
+        self,
+        column_name: str,
+        data_type: DataType,
+        values: Sequence[Any],
+    ):
+        self.column_name = column_name
+        self.data_type = data_type
+        non_null = [value for value in values if value is not None]
+        self.row_count = len(values)
+        self.non_null_count = len(non_null)
+        self.null_fraction = (
+            1.0 - self.non_null_count / self.row_count if self.row_count else 0.0
+        )
+        self._frequencies: Counter = Counter(
+            normalize_term(value) for value in non_null
+        )
+        self._token_frequencies: Counter = Counter()
+        if data_type is DataType.TEXT:
+            for value in non_null:
+                for token in str(value).casefold().split():
+                    key = normalize_term(token)
+                    if key != normalize_term(value):
+                        self._token_frequencies[key] += 1
+        self._numeric: Optional[np.ndarray] = None
+        self._histogram: Optional[tuple[np.ndarray, np.ndarray]] = None
+        if data_type.is_numeric and non_null:
+            self._numeric = np.asarray([float(value) for value in non_null])
+            counts, edges = np.histogram(self._numeric, bins=_HISTOGRAM_BINS)
+            self._histogram = (counts, edges)
+
+    # ------------------------------------------------------------------
+    # Elementary probabilities
+    # ------------------------------------------------------------------
+    def value_probability(self, value: Any) -> float:
+        """P(a random row's cell matches ``value``), keyword semantics."""
+        if self.row_count == 0:
+            return 0.0
+        key = normalize_term(value)
+        count = self._frequencies.get(key, 0) + self._token_frequencies.get(key, 0)
+        if count == 0:
+            # The value was never observed — smooth rather than declare
+            # impossible, because the index may still match through word
+            # tokens of multi-word cells (and the model is only a prior).
+            return min(_UNSEEN_PROBABILITY, 0.5 / (self.non_null_count + 1.0))
+        return min(1.0, count / self.row_count)
+
+    def range_probability(
+        self,
+        low: Optional[float],
+        high: Optional[float],
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> float:
+        """P(a random row's numeric cell falls inside the range)."""
+        if self._numeric is None or self.row_count == 0:
+            return 0.0
+        values = self._numeric
+        mask = np.ones(len(values), dtype=bool)
+        if low is not None:
+            mask &= values >= low if low_inclusive else values > low
+        if high is not None:
+            mask &= values <= high if high_inclusive else values < high
+        return float(mask.sum()) / self.row_count
+
+    # ------------------------------------------------------------------
+    # Constraint-level probability
+    # ------------------------------------------------------------------
+    def match_probability(self, constraint: ValueConstraint) -> float:
+        """P(a random row of the relation satisfies ``constraint`` here)."""
+        if isinstance(constraint, AnyValue):
+            return 1.0 - self.null_fraction
+        if isinstance(constraint, ExactValue):
+            return self.value_probability(constraint.value)
+        if isinstance(constraint, OneOf):
+            probability = 0.0
+            for value in constraint.values:
+                probability += self.value_probability(value)
+            return min(1.0, probability)
+        if isinstance(constraint, Range):
+            low = _as_float(constraint.low)
+            high = _as_float(constraint.high)
+            if self.data_type.is_numeric:
+                return self.range_probability(
+                    low, high, constraint.low_inclusive, constraint.high_inclusive
+                )
+            return self._scan_probability(constraint)
+        if isinstance(constraint, Predicate):
+            return self._predicate_probability(constraint)
+        if isinstance(constraint, Conjunction):
+            probability = 1.0
+            for part in constraint.parts:
+                probability *= self.match_probability(part)
+            return probability
+        if isinstance(constraint, Disjunction):
+            miss = 1.0
+            for part in constraint.parts:
+                miss *= 1.0 - self.match_probability(part)
+            return 1.0 - miss
+        return self._scan_probability(constraint)
+
+    def _predicate_probability(self, constraint: Predicate) -> float:
+        if constraint.op in ("==",):
+            return self.value_probability(constraint.constant)
+        if constraint.op == "!=":
+            return max(0.0, 1.0 - self.value_probability(constraint.constant))
+        constant = _as_float(constraint.constant)
+        if constant is None or self._numeric is None:
+            return self._scan_probability(constraint)
+        if constraint.op == ">":
+            return self.range_probability(constant, None, low_inclusive=False)
+        if constraint.op == ">=":
+            return self.range_probability(constant, None, low_inclusive=True)
+        if constraint.op == "<":
+            return self.range_probability(None, constant, high_inclusive=False)
+        if constraint.op == "<=":
+            return self.range_probability(None, constant, high_inclusive=True)
+        return self._scan_probability(constraint)
+
+    def _scan_probability(self, constraint: ValueConstraint) -> float:
+        """Fallback: estimate from the distinct-value frequency table."""
+        if self.row_count == 0:
+            return 0.0
+        matched = 0
+        for key, count in self._frequencies.items():
+            if constraint.matches(key):
+                matched += count
+        if matched == 0:
+            return min(_UNSEEN_PROBABILITY, 0.5 / (self.non_null_count + 1.0))
+        return matched / self.row_count
+
+
+def _as_float(value: Any) -> Optional[float]:
+    if value is None:
+        return None
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return None

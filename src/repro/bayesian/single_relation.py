@@ -1,0 +1,101 @@
+"""Single-relation Bayesian model.
+
+"A Bayesian model is able to give an estimated probability of a certain
+record matching the sample constraint exists" (§2.3).  For a single
+relation the model is a product of per-column distributions under the
+naive-Bayes independence assumption; combined with the relation's size it
+yields the probability that *at least one* record matches.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Optional
+
+from repro.bayesian.distributions import ColumnDistribution
+from repro.constraints.values import ValueConstraint
+from repro.dataset.table import Table
+from repro.errors import TrainingError
+
+__all__ = ["SingleRelationModel"]
+
+
+class SingleRelationModel:
+    """Naive-Bayes style model over the columns of one relation."""
+
+    def __init__(
+        self,
+        table_name: str,
+        row_count: int,
+        distributions: Mapping[str, ColumnDistribution],
+    ):
+        if row_count < 0:
+            raise TrainingError("row_count cannot be negative")
+        self.table_name = table_name
+        self.row_count = row_count
+        self._distributions = dict(distributions)
+
+    @classmethod
+    def fit(cls, table: Table) -> "SingleRelationModel":
+        """Train the model directly from a table's contents."""
+        distributions = {
+            column.name: ColumnDistribution(
+                column.name, column.data_type, table.column_values(column.name)
+            )
+            for column in table.columns
+        }
+        return cls(table.name, table.num_rows, distributions)
+
+    def distribution(self, column_name: str) -> ColumnDistribution:
+        """The distribution for ``column_name``."""
+        try:
+            return self._distributions[column_name]
+        except KeyError as exc:
+            raise TrainingError(
+                f"model for table {self.table_name!r} has no column "
+                f"{column_name!r}"
+            ) from exc
+
+    def has_column(self, column_name: str) -> bool:
+        """Whether a distribution exists for ``column_name``."""
+        return column_name in self._distributions
+
+    # ------------------------------------------------------------------
+    # Probabilities
+    # ------------------------------------------------------------------
+    def row_match_probability(
+        self, constraints: Mapping[str, ValueConstraint]
+    ) -> float:
+        """P(a uniformly random row satisfies every per-column constraint).
+
+        Columns are assumed independent (naive Bayes).
+        """
+        probability = 1.0
+        for column_name, constraint in constraints.items():
+            probability *= self.distribution(column_name).match_probability(constraint)
+        return probability
+
+    def exists_probability(
+        self,
+        constraints: Mapping[str, ValueConstraint],
+        row_count: Optional[int] = None,
+    ) -> float:
+        """P(at least one row of the relation satisfies the constraints)."""
+        rows = self.row_count if row_count is None else row_count
+        if rows <= 0:
+            return 0.0
+        per_row = self.row_match_probability(constraints)
+        if per_row <= 0.0:
+            return 0.0
+        if per_row >= 1.0:
+            return 1.0
+        # 1 - (1 - p)^n computed stably in log space.
+        return 1.0 - math.exp(rows * math.log1p(-per_row))
+
+    def failure_probability(
+        self,
+        constraints: Mapping[str, ValueConstraint],
+        row_count: Optional[int] = None,
+    ) -> float:
+        """P(no row satisfies the constraints) — the scheduler's signal."""
+        return 1.0 - self.exists_probability(constraints, row_count)

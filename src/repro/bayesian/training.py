@@ -1,0 +1,64 @@
+"""Training entry point for the Bayesian model set.
+
+The paper trains its Bayesian models "a priori for the source database"
+(§2.3) — i.e. once, offline, as part of preprocessing.  :func:`train_models`
+fits one :class:`SingleRelationModel` per table and one
+:class:`JoinIndicatorModel` per foreign-key edge and returns them bundled
+in a :class:`BayesianModelSet` together with the selectivity estimator the
+scheduler consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.bayesian.estimator import SelectivityEstimator
+from repro.bayesian.join_indicator import JoinIndicatorModel
+from repro.bayesian.single_relation import SingleRelationModel
+from repro.dataset.database import Database
+from repro.errors import TrainingError
+
+__all__ = ["BayesianModelSet", "train_models"]
+
+
+@dataclass
+class BayesianModelSet:
+    """All trained models for one source database."""
+
+    database_name: str
+    relation_models: Dict[str, SingleRelationModel] = field(default_factory=dict)
+    join_models: Dict[tuple, JoinIndicatorModel] = field(default_factory=dict)
+
+    def estimator(self) -> SelectivityEstimator:
+        """Build the selectivity estimator backed by these models."""
+        return SelectivityEstimator(self.relation_models, self.join_models)
+
+    @property
+    def num_relation_models(self) -> int:
+        """Number of per-relation models."""
+        return len(self.relation_models)
+
+    @property
+    def num_join_models(self) -> int:
+        """Number of join-indicator models."""
+        return len(self.join_models)
+
+
+def train_models(database: Database) -> BayesianModelSet:
+    """Train the full Bayesian model set for ``database``.
+
+    Raises :class:`TrainingError` for an empty database (no tables).
+    """
+    if not database.table_names:
+        raise TrainingError(
+            f"database {database.name!r} has no tables to train on"
+        )
+    model_set = BayesianModelSet(database_name=database.name)
+    for table in database:
+        model_set.relation_models[table.name] = SingleRelationModel.fit(table)
+    for foreign_key in database.foreign_keys:
+        model_set.join_models[JoinIndicatorModel.key(foreign_key)] = (
+            JoinIndicatorModel.fit(database, foreign_key)
+        )
+    return model_set

@@ -1,0 +1,58 @@
+"""The multiresolution schema mapping language (paper Figure 1).
+
+Value constraints restrict individual result cells, sample constraints are
+rows of value constraints, and metadata constraints describe target-schema
+columns.  A :class:`MappingSpec` bundles everything the user provides for
+one discovery run, and the parser converts the demo UI's textual syntax
+into constraint objects.
+"""
+
+from repro.constraints.metadata import (
+    MetadataConjunction,
+    MetadataConstraint,
+    MetadataDisjunction,
+    MetadataField,
+    MetadataPredicate,
+    UserDefinedConstraint,
+)
+from repro.constraints.parser import (
+    parse_literal,
+    parse_metadata_constraint,
+    parse_value_constraint,
+)
+from repro.constraints.resolution import Resolution
+from repro.constraints.sample import SampleConstraint
+from repro.constraints.spec import MappingSpec
+from repro.constraints.values import (
+    AnyValue,
+    Conjunction,
+    Disjunction,
+    ExactValue,
+    OneOf,
+    Predicate,
+    Range,
+    ValueConstraint,
+)
+
+__all__ = [
+    "AnyValue",
+    "Conjunction",
+    "Disjunction",
+    "ExactValue",
+    "MappingSpec",
+    "MetadataConjunction",
+    "MetadataConstraint",
+    "MetadataDisjunction",
+    "MetadataField",
+    "MetadataPredicate",
+    "OneOf",
+    "Predicate",
+    "Range",
+    "Resolution",
+    "SampleConstraint",
+    "UserDefinedConstraint",
+    "ValueConstraint",
+    "parse_literal",
+    "parse_metadata_constraint",
+    "parse_value_constraint",
+]

@@ -1,0 +1,239 @@
+"""Metadata constraints: the column-level half of the language.
+
+A *metadata constraint* encodes factual knowledge about a target-schema
+column rather than about individual cells (Figure 1: ``cm := pm | pm
+logicalop pm``; ``pm := type binop const``).  Supported metadata fields
+follow §2.1: data type, column name, min/max value and maximum text
+length.  Constraints are checked against the :class:`ColumnStats` recorded
+in the metadata catalog during preprocessing.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Sequence
+
+import enum
+
+from repro.constraints.resolution import Resolution
+from repro.constraints.values import COMPARISON_OPERATORS
+from repro.dataset.catalog import ColumnStats
+from repro.dataset.types import DataType
+from repro.errors import ConstraintError
+
+__all__ = [
+    "MetadataField",
+    "MetadataConstraint",
+    "MetadataPredicate",
+    "MetadataConjunction",
+    "MetadataDisjunction",
+    "UserDefinedConstraint",
+]
+
+
+class MetadataField(enum.Enum):
+    """Column metadata fields a constraint may reference."""
+
+    DATA_TYPE = "DataType"
+    COLUMN_NAME = "ColumnName"
+    MIN_VALUE = "MinValue"
+    MAX_VALUE = "MaxValue"
+    MAX_LENGTH = "MaxLength"
+
+    @classmethod
+    def from_name(cls, name: str) -> "MetadataField":
+        """Resolve a field from its (case-insensitive) textual name."""
+        normalized = name.strip().replace("_", "").casefold()
+        aliases = {
+            "datatype": cls.DATA_TYPE,
+            "type": cls.DATA_TYPE,
+            "columnname": cls.COLUMN_NAME,
+            "name": cls.COLUMN_NAME,
+            "minvalue": cls.MIN_VALUE,
+            "min": cls.MIN_VALUE,
+            "maxvalue": cls.MAX_VALUE,
+            "max": cls.MAX_VALUE,
+            "maxlength": cls.MAX_LENGTH,
+            "maxtextlength": cls.MAX_LENGTH,
+            "length": cls.MAX_LENGTH,
+        }
+        if normalized not in aliases:
+            raise ConstraintError(f"unknown metadata field: {name!r}")
+        return aliases[normalized]
+
+
+class MetadataConstraint(ABC):
+    """Base class for column-level constraints."""
+
+    @abstractmethod
+    def matches(self, stats: ColumnStats) -> bool:
+        """Whether a column (via its statistics) satisfies this constraint."""
+
+    @property
+    def resolution(self) -> Resolution:
+        """Metadata constraints are low-resolution by definition."""
+        return Resolution.LOW
+
+    @abstractmethod
+    def describe(self) -> str:
+        """Render the constraint in the demo's textual syntax."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}({self.describe()!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MetadataConstraint):
+            return NotImplemented
+        return type(self) is type(other) and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._key()))
+
+    def _key(self) -> tuple:
+        return (self.describe(),)
+
+
+def _numeric(value: Any) -> Any:
+    """Best-effort numeric coercion used for min/max comparisons."""
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return value
+    try:
+        return float(str(value).strip())
+    except (TypeError, ValueError):
+        return value
+
+
+class MetadataPredicate(MetadataConstraint):
+    """A single comparison between a metadata field and a constant."""
+
+    def __init__(self, field: MetadataField, op: str, constant: Any):
+        if not isinstance(field, MetadataField):
+            field = MetadataField.from_name(str(field))
+        if op not in COMPARISON_OPERATORS:
+            raise ConstraintError(f"unknown comparison operator: {op!r}")
+        self.field = field
+        self.op = "==" if op == "=" else op
+        self.constant = constant
+        if field is MetadataField.DATA_TYPE:
+            if self.op not in ("==", "!="):
+                raise ConstraintError("DataType only supports == and !=")
+            if not isinstance(constant, DataType):
+                self.constant = DataType.from_name(str(constant))
+        if field is MetadataField.COLUMN_NAME and self.op not in ("==", "!="):
+            raise ConstraintError("ColumnName only supports == and !=")
+
+    def matches(self, stats: ColumnStats) -> bool:
+        compare = COMPARISON_OPERATORS[self.op]
+        if self.field is MetadataField.DATA_TYPE:
+            equal = stats.data_type is self.constant or (
+                # Integer columns satisfy a 'decimal' requirement: every int
+                # is representable as a decimal, which matches user intent
+                # ("the values must be at least numeric").
+                self.constant is DataType.DECIMAL
+                and stats.data_type is DataType.INT
+            )
+            return equal if self.op == "==" else not equal
+        if self.field is MetadataField.COLUMN_NAME:
+            equal = stats.ref.column.casefold() == str(self.constant).casefold()
+            return equal if self.op == "==" else not equal
+        if self.field is MetadataField.MIN_VALUE:
+            observed = stats.min_value
+        elif self.field is MetadataField.MAX_VALUE:
+            observed = stats.max_value
+        else:
+            observed = stats.max_text_length
+        if observed is None:
+            return False
+        left = _numeric(observed)
+        right = _numeric(self.constant)
+        try:
+            return compare(left, right)
+        except TypeError:
+            return compare(str(observed), str(self.constant))
+
+    def describe(self) -> str:
+        if self.field is MetadataField.DATA_TYPE:
+            constant = f"'{self.constant.value}'"
+        elif isinstance(self.constant, str):
+            constant = f"'{self.constant}'"
+        else:
+            constant = str(self.constant)
+        return f"{self.field.value} {self.op} {constant}"
+
+    def _key(self) -> tuple:
+        return (self.field, self.op, str(self.constant))
+
+
+class UserDefinedConstraint(MetadataConstraint):
+    """A user-defined function over column statistics.
+
+    The paper lists user-defined functions as a planned extension of the
+    metadata constraint language (§2.1: "In the future, we plan to support
+    more metadata constraints, and even user-defined functions").  This
+    class provides that extension point: the user supplies any predicate
+    over :class:`ColumnStats` (e.g. "mostly unique", "low null rate",
+    "looks like a year") and it composes with the built-in predicates via
+    :class:`MetadataConjunction` / :class:`MetadataDisjunction`.
+    """
+
+    def __init__(self, predicate, name: str = "udf"):
+        if not callable(predicate):
+            raise ConstraintError("UserDefinedConstraint requires a callable")
+        if not name or not str(name).strip():
+            raise ConstraintError("UserDefinedConstraint requires a name")
+        self.predicate = predicate
+        self.name = str(name)
+
+    def matches(self, stats: ColumnStats) -> bool:
+        try:
+            return bool(self.predicate(stats))
+        except Exception as exc:
+            raise ConstraintError(
+                f"user-defined constraint {self.name!r} raised {exc!r}"
+            ) from exc
+
+    def describe(self) -> str:
+        return f"UDF({self.name})"
+
+    def _key(self) -> tuple:
+        return (self.name, id(self.predicate))
+
+
+class MetadataConjunction(MetadataConstraint):
+    """Logical AND of metadata constraints."""
+
+    def __init__(self, parts: Sequence[MetadataConstraint]):
+        parts = list(parts)
+        if len(parts) < 2:
+            raise ConstraintError("MetadataConjunction requires at least two parts")
+        self.parts = tuple(parts)
+
+    def matches(self, stats: ColumnStats) -> bool:
+        return all(part.matches(stats) for part in self.parts)
+
+    def describe(self) -> str:
+        return " AND ".join(part.describe() for part in self.parts)
+
+    def _key(self) -> tuple:
+        return (self.parts,)
+
+
+class MetadataDisjunction(MetadataConstraint):
+    """Logical OR of metadata constraints."""
+
+    def __init__(self, parts: Sequence[MetadataConstraint]):
+        parts = list(parts)
+        if len(parts) < 2:
+            raise ConstraintError("MetadataDisjunction requires at least two parts")
+        self.parts = tuple(parts)
+
+    def matches(self, stats: ColumnStats) -> bool:
+        return any(part.matches(stats) for part in self.parts)
+
+    def describe(self) -> str:
+        return " OR ".join(part.describe() for part in self.parts)
+
+    def _key(self) -> tuple:
+        return (self.parts,)

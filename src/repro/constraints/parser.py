@@ -1,0 +1,199 @@
+"""Parser for the demo's textual constraint syntax.
+
+The Description section of the demo UI takes free text in each cell
+(Figure 3, §3): ``"California || Nevada"`` for a disjunction,
+``"Lake Tahoe"`` for an exact keyword, and
+``"DataType=='decimal' AND MinValue>='0'"`` for a metadata constraint.
+This module turns those strings into constraint objects:
+
+* :func:`parse_value_constraint` — cell text → :class:`ValueConstraint`
+  (or ``None`` for a blank / ``*`` cell).  Supported forms::
+
+      Lake Tahoe                  exact keyword
+      California || Nevada        disjunction of keywords
+      [400, 600]                  inclusive numeric range
+      (0, 100]                    half-open numeric range
+      400 .. 600                  inclusive numeric range (alt syntax)
+      >= 0                        comparison predicate
+      >= 0 && < 1000              conjunction of predicates
+
+* :func:`parse_metadata_constraint` — column metadata text →
+  :class:`MetadataConstraint`.  Supported form (flat AND/OR, AND binds
+  tighter)::
+
+      DataType == 'decimal' AND MinValue >= 0
+      ColumnName == 'Name' OR MaxLength <= 40
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Optional
+
+from repro.constraints.metadata import (
+    MetadataConjunction,
+    MetadataConstraint,
+    MetadataDisjunction,
+    MetadataField,
+    MetadataPredicate,
+)
+from repro.constraints.values import (
+    Conjunction,
+    Disjunction,
+    ExactValue,
+    OneOf,
+    Predicate,
+    Range,
+    ValueConstraint,
+)
+from repro.errors import ConstraintParseError
+
+__all__ = ["parse_value_constraint", "parse_metadata_constraint", "parse_literal"]
+
+_RANGE_PATTERN = re.compile(
+    r"^(?P<left>[\[\(])\s*(?P<low>[^,]*?)\s*,\s*(?P<high>[^\]\)]*?)\s*(?P<right>[\]\)])$"
+)
+_DOTDOT_PATTERN = re.compile(r"^(?P<low>[^.]+?)\s*\.\.\s*(?P<high>.+)$")
+_PREDICATE_PATTERN = re.compile(r"^(?P<op>>=|<=|!=|==|=|>|<)\s*(?P<const>.+)$")
+_METADATA_PREDICATE_PATTERN = re.compile(
+    r"^(?P<field>[A-Za-z_][A-Za-z0-9_]*)\s*(?P<op>>=|<=|!=|==|=|>|<)\s*(?P<const>.+)$"
+)
+_NUMBER_PATTERN = re.compile(r"^[+-]?\d+(\.\d+)?$")
+
+
+def parse_literal(text: str) -> Any:
+    """Parse a literal: strips quotes, converts numeric strings to numbers."""
+    stripped = text.strip()
+    if len(stripped) >= 2 and stripped[0] == stripped[-1] and stripped[0] in "'\"":
+        return stripped[1:-1]
+    if _NUMBER_PATTERN.match(stripped):
+        if "." in stripped:
+            return float(stripped)
+        return int(stripped)
+    return stripped
+
+
+def _parse_bound(text: str) -> Optional[Any]:
+    stripped = text.strip()
+    if not stripped or stripped in ("*", "-inf", "+inf", "inf"):
+        return None
+    return parse_literal(stripped)
+
+
+def _parse_atomic_value(text: str) -> ValueConstraint:
+    stripped = text.strip()
+    if not stripped:
+        raise ConstraintParseError("empty value constraint term")
+
+    range_match = _RANGE_PATTERN.match(stripped)
+    if range_match:
+        low = _parse_bound(range_match.group("low"))
+        high = _parse_bound(range_match.group("high"))
+        if low is None and high is None:
+            raise ConstraintParseError(f"range has no bounds: {text!r}")
+        return Range(
+            low=low,
+            high=high,
+            low_inclusive=range_match.group("left") == "[",
+            high_inclusive=range_match.group("right") == "]",
+        )
+
+    dotdot_match = _DOTDOT_PATTERN.match(stripped)
+    if dotdot_match:
+        low = _parse_bound(dotdot_match.group("low"))
+        high = _parse_bound(dotdot_match.group("high"))
+        if isinstance(low, (int, float)) and isinstance(high, (int, float)):
+            return Range(low=low, high=high)
+
+    predicate_match = _PREDICATE_PATTERN.match(stripped)
+    if predicate_match:
+        constant = parse_literal(predicate_match.group("const"))
+        return Predicate(predicate_match.group("op"), constant)
+
+    return ExactValue(parse_literal(stripped))
+
+
+def parse_value_constraint(text: Optional[str]) -> Optional[ValueConstraint]:
+    """Parse one Description-section cell into a value constraint.
+
+    Returns ``None`` for blank cells and the wildcards ``*`` / ``?``,
+    meaning the user provided no information for that cell.
+    """
+    if text is None:
+        return None
+    stripped = text.strip()
+    if not stripped or stripped in ("*", "?"):
+        return None
+
+    # Disjunction first (lowest precedence), then conjunction.
+    or_parts = [part for part in re.split(r"\|\|", stripped) if part.strip()]
+    if len(or_parts) > 1:
+        parsed_parts = [_parse_or_conjunction(part) for part in or_parts]
+        if all(isinstance(part, ExactValue) for part in parsed_parts):
+            return OneOf([part.value for part in parsed_parts])
+        return Disjunction(parsed_parts)
+    return _parse_or_conjunction(stripped)
+
+
+def _parse_or_conjunction(text: str) -> ValueConstraint:
+    and_parts = [part for part in re.split(r"&&", text) if part.strip()]
+    if not and_parts:
+        raise ConstraintParseError(f"cannot parse value constraint: {text!r}")
+    if len(and_parts) == 1:
+        return _parse_atomic_value(and_parts[0])
+    return Conjunction([_parse_atomic_value(part) for part in and_parts])
+
+
+def _split_logical(text: str, keyword: str) -> list[str]:
+    """Split on a logical keyword (case-insensitive, word-bounded)."""
+    pattern = re.compile(rf"\s+{keyword}\s+", flags=re.IGNORECASE)
+    return [part for part in pattern.split(text) if part.strip()]
+
+
+def _parse_metadata_predicate(text: str) -> MetadataPredicate:
+    stripped = text.strip()
+    match = _METADATA_PREDICATE_PATTERN.match(stripped)
+    if not match:
+        raise ConstraintParseError(
+            f"cannot parse metadata predicate: {text!r} "
+            "(expected e.g. DataType == 'decimal')"
+        )
+    constant = parse_literal(match.group("const"))
+    try:
+        field = MetadataField.from_name(match.group("field"))
+        return MetadataPredicate(field, match.group("op"), constant)
+    except ConstraintParseError:
+        raise
+    except Exception as exc:  # ConstraintError, DataError (bad type names), ...
+        raise ConstraintParseError(
+            f"cannot parse metadata predicate: {text!r} ({exc})"
+        ) from exc
+
+
+def parse_metadata_constraint(text: Optional[str]) -> Optional[MetadataConstraint]:
+    """Parse a Metadata-Constraints cell into a metadata constraint.
+
+    Returns ``None`` for blank cells.  ``AND`` binds tighter than ``OR``;
+    ``&&`` / ``||`` are accepted as synonyms.
+    """
+    if text is None:
+        return None
+    stripped = text.strip()
+    if not stripped or stripped in ("*", "?"):
+        return None
+    normalized = stripped.replace("&&", " AND ").replace("||", " OR ")
+
+    or_parts = _split_logical(normalized, "OR")
+    or_constraints: list[MetadataConstraint] = []
+    for or_part in or_parts:
+        and_parts = _split_logical(or_part, "AND")
+        and_constraints = [_parse_metadata_predicate(part) for part in and_parts]
+        if len(and_constraints) == 1:
+            or_constraints.append(and_constraints[0])
+        else:
+            or_constraints.append(MetadataConjunction(and_constraints))
+    if not or_constraints:
+        raise ConstraintParseError(f"cannot parse metadata constraint: {text!r}")
+    if len(or_constraints) == 1:
+        return or_constraints[0]
+    return MetadataDisjunction(or_constraints)

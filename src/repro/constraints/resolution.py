@@ -1,0 +1,31 @@
+"""Resolution levels of multiresolution constraints.
+
+The paper distinguishes three resolutions (§1): high (complete samples with
+exact values), medium (incomplete samples, disjunctions, value ranges) and
+low (column-level metadata such as data type or value range).  The
+:class:`Resolution` enum captures that ordering; higher values mean more
+precise user knowledge.
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["Resolution"]
+
+
+class Resolution(enum.IntEnum):
+    """Constraint resolution, ordered from loosest to most precise."""
+
+    LOW = 1
+    MEDIUM = 2
+    HIGH = 3
+
+    def describe(self) -> str:
+        """Human-readable description used in reports."""
+        descriptions = {
+            Resolution.HIGH: "exact data values",
+            Resolution.MEDIUM: "approximate values (disjunctions, ranges)",
+            Resolution.LOW: "column-level metadata",
+        }
+        return descriptions[self]

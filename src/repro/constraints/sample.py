@@ -1,0 +1,140 @@
+"""Sample constraints: rows of value constraints.
+
+"Multiple value constraints listed in the same row together form a sample
+constraint.  A schema mapping query satisfies a sample constraint if the
+result set of the query contains this sample." (§2.1)
+
+A cell may be ``None`` to indicate the user left it blank (an incomplete
+sample — the medium-resolution case).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional, Sequence
+
+from repro.constraints.resolution import Resolution
+from repro.constraints.values import AnyValue, ExactValue, ValueConstraint
+from repro.errors import ConstraintError
+
+__all__ = ["SampleConstraint"]
+
+
+class SampleConstraint:
+    """One row of the user's Description section."""
+
+    def __init__(self, cells: Sequence[Optional[ValueConstraint]]):
+        if not cells:
+            raise ConstraintError("a sample constraint needs at least one cell")
+        prepared: list[Optional[ValueConstraint]] = []
+        for cell in cells:
+            if cell is None or isinstance(cell, ValueConstraint):
+                prepared.append(cell)
+            else:
+                raise ConstraintError(
+                    "sample cells must be ValueConstraint instances or None, "
+                    f"got {type(cell).__name__}"
+                )
+        if all(cell is None or isinstance(cell, AnyValue) for cell in prepared):
+            raise ConstraintError(
+                "a sample constraint must constrain at least one cell"
+            )
+        self.cells: tuple[Optional[ValueConstraint], ...] = tuple(prepared)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_values(cls, values: Sequence[Any]) -> "SampleConstraint":
+        """Build a high-resolution sample from exact values.
+
+        ``None`` entries become unconstrained cells, matching a user who
+        left that field blank.
+        """
+        cells = [None if value is None else ExactValue(value) for value in values]
+        return cls(cells)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def width(self) -> int:
+        """Number of target-schema columns this sample spans."""
+        return len(self.cells)
+
+    def cell(self, position: int) -> Optional[ValueConstraint]:
+        """The constraint at ``position`` (``None`` when unconstrained)."""
+        return self.cells[position]
+
+    def constrained_positions(self) -> list[int]:
+        """Positions whose cells carry an actual constraint."""
+        return [
+            position
+            for position, cell in enumerate(self.cells)
+            if cell is not None and not isinstance(cell, AnyValue)
+        ]
+
+    @property
+    def resolution(self) -> Resolution:
+        """The loosest resolution across constrained cells."""
+        resolutions = [
+            cell.resolution
+            for cell in self.cells
+            if cell is not None and not isinstance(cell, AnyValue)
+        ]
+        if not resolutions:
+            return Resolution.LOW
+        if len(resolutions) < self.width:
+            # An incomplete sample is at best medium resolution.
+            return Resolution(min(min(resolutions), Resolution.MEDIUM))
+        return Resolution(min(resolutions))
+
+    @property
+    def is_complete(self) -> bool:
+        """Whether every cell carries a constraint."""
+        return len(self.constrained_positions()) == self.width
+
+    # ------------------------------------------------------------------
+    # Matching
+    # ------------------------------------------------------------------
+    def satisfied_by_row(self, row: Sequence[Any]) -> bool:
+        """Whether a single result row satisfies every constrained cell."""
+        if len(row) != self.width:
+            raise ConstraintError(
+                f"row width {len(row)} does not match sample width {self.width}"
+            )
+        for cell, value in zip(self.cells, row):
+            if cell is None:
+                continue
+            if not cell.matches(value):
+                return False
+        return True
+
+    def satisfied_by_result(self, rows: Iterable[Sequence[Any]]) -> bool:
+        """Whether *some* result row satisfies the sample (paper semantics)."""
+        return any(self.satisfied_by_row(row) for row in rows)
+
+    def restrict(self, positions: Sequence[int]) -> "SampleConstraint":
+        """A partial sample over a subset of positions (used by filters)."""
+        cells = [self.cells[position] for position in positions]
+        if all(cell is None or isinstance(cell, AnyValue) for cell in cells):
+            raise ConstraintError(
+                "restriction would produce an unconstrained sample"
+            )
+        return SampleConstraint(cells)
+
+    def describe(self) -> str:
+        """Render the sample as the row the user typed."""
+        return " | ".join(
+            "" if cell is None else cell.describe() for cell in self.cells
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SampleConstraint):
+            return NotImplemented
+        return self.cells == other.cells
+
+    def __hash__(self) -> int:
+        return hash(self.cells)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"SampleConstraint({self.describe()!r})"

@@ -1,0 +1,151 @@
+"""Mapping specifications: everything the user provides for one search.
+
+A :class:`MappingSpec` bundles the Configuration and Description sections
+of the demo UI: the number of target-schema columns, the result constraints
+(sample rows) and the per-column metadata constraints.  The discovery
+engine consumes a spec and produces the satisfying PJ queries.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Optional, Sequence
+
+from repro.constraints.metadata import MetadataConstraint
+from repro.constraints.resolution import Resolution
+from repro.constraints.sample import SampleConstraint
+from repro.constraints.values import ValueConstraint
+from repro.errors import SpecError
+
+__all__ = ["MappingSpec"]
+
+
+class MappingSpec:
+    """A complete multiresolution schema mapping request."""
+
+    def __init__(
+        self,
+        num_columns: int,
+        samples: Optional[Sequence[SampleConstraint]] = None,
+        metadata: Optional[Mapping[int, MetadataConstraint]] = None,
+    ):
+        if num_columns < 1:
+            raise SpecError("the target schema needs at least one column")
+        self.num_columns = num_columns
+        self._samples: list[SampleConstraint] = []
+        self._metadata: dict[int, MetadataConstraint] = {}
+        for sample in samples or ():
+            self.add_sample(sample)
+        for position, constraint in (metadata or {}).items():
+            self.set_metadata(position, constraint)
+
+    # ------------------------------------------------------------------
+    # Mutation (builder-style)
+    # ------------------------------------------------------------------
+    def add_sample(self, sample: SampleConstraint) -> "MappingSpec":
+        """Add a result (sample) constraint row."""
+        if not isinstance(sample, SampleConstraint):
+            raise SpecError("add_sample expects a SampleConstraint")
+        if sample.width != self.num_columns:
+            raise SpecError(
+                f"sample has {sample.width} cells but the target schema has "
+                f"{self.num_columns} columns"
+            )
+        self._samples.append(sample)
+        return self
+
+    def add_sample_cells(
+        self, cells: Sequence[Optional[ValueConstraint]]
+    ) -> "MappingSpec":
+        """Convenience wrapper building a :class:`SampleConstraint` first."""
+        return self.add_sample(SampleConstraint(cells))
+
+    def set_metadata(
+        self, position: int, constraint: MetadataConstraint
+    ) -> "MappingSpec":
+        """Attach a metadata constraint to target column ``position``."""
+        if position < 0 or position >= self.num_columns:
+            raise SpecError(
+                f"metadata position {position} out of range for "
+                f"{self.num_columns} columns"
+            )
+        if not isinstance(constraint, MetadataConstraint):
+            raise SpecError("set_metadata expects a MetadataConstraint")
+        self._metadata[position] = constraint
+        return self
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def samples(self) -> list[SampleConstraint]:
+        """All sample constraints (treat as read-only)."""
+        return list(self._samples)
+
+    @property
+    def metadata(self) -> dict[int, MetadataConstraint]:
+        """Per-column metadata constraints (treat as read-only)."""
+        return dict(self._metadata)
+
+    def metadata_for(self, position: int) -> Optional[MetadataConstraint]:
+        """The metadata constraint of column ``position`` (or ``None``)."""
+        return self._metadata.get(position)
+
+    def value_constraints_for(self, position: int) -> list[ValueConstraint]:
+        """All value constraints any sample places on column ``position``."""
+        constraints = []
+        for sample in self._samples:
+            cell = sample.cell(position)
+            if cell is not None:
+                constraints.append(cell)
+        return constraints
+
+    def has_constraints(self) -> bool:
+        """Whether the spec constrains anything at all."""
+        return bool(self._samples) or bool(self._metadata)
+
+    @property
+    def resolution(self) -> Resolution:
+        """Loosest resolution present anywhere in the spec."""
+        resolutions = [sample.resolution for sample in self._samples]
+        if self._metadata:
+            resolutions.append(Resolution.LOW)
+        if not resolutions:
+            return Resolution.LOW
+        return Resolution(min(resolutions))
+
+    def validate(self) -> None:
+        """Raise :class:`SpecError` when the spec cannot drive a search."""
+        if not self.has_constraints():
+            raise SpecError(
+                "the spec provides no constraints; the search space would be "
+                "the entire database"
+            )
+        constrained = set(self._metadata)
+        for sample in self._samples:
+            constrained.update(sample.constrained_positions())
+        if not constrained:
+            raise SpecError("no target column carries any constraint")
+
+    def constrained_positions(self) -> list[int]:
+        """Target columns constrained by at least one sample cell or metadata."""
+        constrained = set(self._metadata)
+        for sample in self._samples:
+            constrained.update(sample.constrained_positions())
+        return sorted(constrained)
+
+    def describe(self) -> str:
+        """Multi-line human-readable description used by the CLI."""
+        lines = [f"target columns: {self.num_columns}"]
+        for index, sample in enumerate(self._samples):
+            lines.append(f"sample {index + 1}: {sample.describe()}")
+        for position in sorted(self._metadata):
+            lines.append(
+                f"metadata[col {position}]: {self._metadata[position].describe()}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"MappingSpec(columns={self.num_columns}, "
+            f"samples={len(self._samples)}, metadata={len(self._metadata)})"
+        )

@@ -1,0 +1,345 @@
+"""Value constraints: the row-level half of the multiresolution language.
+
+A *value constraint* restricts a single cell of the target schema
+(Figure 1: ``ck := pv | pv logicalop pv``).  The concrete forms supported
+mirror the paper's examples:
+
+* :class:`ExactValue` — the classic keyword of sample-driven mapping
+  ("Lake Tahoe").  High resolution.
+* :class:`OneOf` — a disjunction of possible values
+  ("California || Nevada").  Medium resolution.
+* :class:`Range` — a numeric value range ("[400, 600]").  Medium resolution.
+* :class:`Predicate` — a single comparison against a constant (">= 0").
+  Medium resolution.
+* :class:`Conjunction` / :class:`Disjunction` — logical combinations of the
+  above, per the grammar's ``logicalop``.
+* :class:`AnyValue` — an explicitly unconstrained cell.
+
+String matching uses keyword semantics: a cell matches an exact value when
+it equals it case-insensitively or contains it as a whole word, matching
+how sample-driven systems probe a DBMS inverted index.
+"""
+
+from __future__ import annotations
+
+import operator
+import re
+from abc import ABC, abstractmethod
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.constraints.resolution import Resolution
+from repro.errors import ConstraintError
+
+__all__ = [
+    "ValueConstraint",
+    "ExactValue",
+    "OneOf",
+    "Range",
+    "Predicate",
+    "Conjunction",
+    "Disjunction",
+    "AnyValue",
+    "COMPARISON_OPERATORS",
+]
+
+COMPARISON_OPERATORS: dict[str, Callable[[Any, Any], bool]] = {
+    "==": operator.eq,
+    "=": operator.eq,
+    "!=": operator.ne,
+    ">": operator.gt,
+    ">=": operator.ge,
+    "<": operator.lt,
+    "<=": operator.le,
+}
+
+_WORD_PATTERN_CACHE: dict[str, re.Pattern] = {}
+
+
+def _normalize_text(value: Any) -> str:
+    return str(value).strip().casefold()
+
+
+def _values_equal(cell: Any, target: Any) -> bool:
+    """Equality with keyword semantics for strings and numeric tolerance."""
+    if cell is None or target is None:
+        return False
+    if isinstance(cell, str) or isinstance(target, str):
+        cell_text = _normalize_text(cell)
+        target_text = _normalize_text(target)
+        if cell_text == target_text:
+            return True
+        if target_text not in _WORD_PATTERN_CACHE:
+            _WORD_PATTERN_CACHE[target_text] = re.compile(
+                r"(?<![A-Za-z0-9])" + re.escape(target_text) + r"(?![A-Za-z0-9])"
+            )
+        return bool(_WORD_PATTERN_CACHE[target_text].search(cell_text))
+    if isinstance(cell, bool) or isinstance(target, bool):
+        return cell is target
+    if isinstance(cell, (int, float)) and isinstance(target, (int, float)):
+        return float(cell) == float(target)
+    return cell == target
+
+
+def _compare(cell: Any, op: str, constant: Any) -> bool:
+    """Apply a comparison operator, returning False on type mismatch."""
+    if cell is None:
+        return False
+    func = COMPARISON_OPERATORS.get(op)
+    if func is None:
+        raise ConstraintError(f"unknown comparison operator: {op!r}")
+    if op in ("==", "="):
+        return _values_equal(cell, constant)
+    if op == "!=":
+        return not _values_equal(cell, constant)
+    cell_is_text = isinstance(cell, str)
+    constant_is_text = isinstance(constant, str)
+    try:
+        if cell_is_text and constant_is_text:
+            return func(_normalize_text(cell), _normalize_text(constant))
+        if cell_is_text != constant_is_text:
+            # Ordering a string against a number is a type mismatch, not an
+            # error: the cell simply does not satisfy the predicate.
+            return False
+        return func(cell, constant)
+    except TypeError:
+        return False
+
+
+class ValueConstraint(ABC):
+    """Base class for every row-level (cell) constraint."""
+
+    @abstractmethod
+    def matches(self, value: Any) -> bool:
+        """Whether a cell value satisfies this constraint."""
+
+    @property
+    @abstractmethod
+    def resolution(self) -> Resolution:
+        """The constraint's resolution level."""
+
+    def seed_values(self) -> list[Any]:
+        """Literal values usable as inverted-index probes (may be empty)."""
+        return []
+
+    @abstractmethod
+    def describe(self) -> str:
+        """Render the constraint in the demo's textual syntax."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}({self.describe()!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ValueConstraint):
+            return NotImplemented
+        return type(self) is type(other) and self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash((type(self).__name__, self._key()))
+
+    def _key(self) -> tuple:
+        return (self.describe(),)
+
+
+class ExactValue(ValueConstraint):
+    """A high-resolution constraint: the cell must contain this value."""
+
+    def __init__(self, value: Any):
+        if value is None:
+            raise ConstraintError("ExactValue cannot be NULL; use AnyValue")
+        self.value = value
+
+    def matches(self, value: Any) -> bool:
+        return _values_equal(value, self.value)
+
+    @property
+    def resolution(self) -> Resolution:
+        return Resolution.HIGH
+
+    def seed_values(self) -> list[Any]:
+        return [self.value]
+
+    def describe(self) -> str:
+        return str(self.value)
+
+    def _key(self) -> tuple:
+        return (self.value,)
+
+
+class OneOf(ValueConstraint):
+    """A disjunction of possible exact values ("California || Nevada")."""
+
+    def __init__(self, values: Sequence[Any]):
+        values = [value for value in values if value is not None]
+        if not values:
+            raise ConstraintError("OneOf requires at least one non-NULL value")
+        self.values = tuple(values)
+
+    def matches(self, value: Any) -> bool:
+        return any(_values_equal(value, candidate) for candidate in self.values)
+
+    @property
+    def resolution(self) -> Resolution:
+        return Resolution.MEDIUM if len(self.values) > 1 else Resolution.HIGH
+
+    def seed_values(self) -> list[Any]:
+        return list(self.values)
+
+    def describe(self) -> str:
+        return " || ".join(str(value) for value in self.values)
+
+    def _key(self) -> tuple:
+        return (self.values,)
+
+
+class Range(ValueConstraint):
+    """A numeric value range, optionally open on either side."""
+
+    def __init__(
+        self,
+        low: Any = None,
+        high: Any = None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ):
+        if low is None and high is None:
+            raise ConstraintError("Range requires at least one bound")
+        if (
+            low is not None
+            and high is not None
+            and not isinstance(low, str)
+            and not isinstance(high, str)
+            and low > high
+        ):
+            raise ConstraintError(f"Range lower bound {low!r} exceeds upper bound {high!r}")
+        self.low = low
+        self.high = high
+        self.low_inclusive = low_inclusive
+        self.high_inclusive = high_inclusive
+
+    def matches(self, value: Any) -> bool:
+        if value is None:
+            return False
+        if self.low is not None:
+            op = ">=" if self.low_inclusive else ">"
+            if not _compare(value, op, self.low):
+                return False
+        if self.high is not None:
+            op = "<=" if self.high_inclusive else "<"
+            if not _compare(value, op, self.high):
+                return False
+        return True
+
+    @property
+    def resolution(self) -> Resolution:
+        return Resolution.MEDIUM
+
+    def describe(self) -> str:
+        low = "" if self.low is None else str(self.low)
+        high = "" if self.high is None else str(self.high)
+        left = "[" if self.low_inclusive else "("
+        right = "]" if self.high_inclusive else ")"
+        return f"{left}{low}, {high}{right}"
+
+    def _key(self) -> tuple:
+        return (self.low, self.high, self.low_inclusive, self.high_inclusive)
+
+
+class Predicate(ValueConstraint):
+    """A single comparison against a constant, e.g. ``>= 0``."""
+
+    def __init__(self, op: str, constant: Any):
+        if op not in COMPARISON_OPERATORS:
+            raise ConstraintError(f"unknown comparison operator: {op!r}")
+        self.op = "==" if op == "=" else op
+        self.constant = constant
+
+    def matches(self, value: Any) -> bool:
+        return _compare(value, self.op, self.constant)
+
+    @property
+    def resolution(self) -> Resolution:
+        return Resolution.HIGH if self.op == "==" else Resolution.MEDIUM
+
+    def seed_values(self) -> list[Any]:
+        return [self.constant] if self.op == "==" else []
+
+    def describe(self) -> str:
+        return f"{self.op} {self.constant}"
+
+    def _key(self) -> tuple:
+        return (self.op, self.constant)
+
+
+class Conjunction(ValueConstraint):
+    """Logical AND of value constraints."""
+
+    def __init__(self, parts: Sequence[ValueConstraint]):
+        parts = list(parts)
+        if len(parts) < 2:
+            raise ConstraintError("Conjunction requires at least two parts")
+        self.parts = tuple(parts)
+
+    def matches(self, value: Any) -> bool:
+        return all(part.matches(value) for part in self.parts)
+
+    @property
+    def resolution(self) -> Resolution:
+        return Resolution(max(part.resolution for part in self.parts))
+
+    def seed_values(self) -> list[Any]:
+        seeds: list[Any] = []
+        for part in self.parts:
+            seeds.extend(part.seed_values())
+        return seeds
+
+    def describe(self) -> str:
+        return " && ".join(part.describe() for part in self.parts)
+
+    def _key(self) -> tuple:
+        return (self.parts,)
+
+
+class Disjunction(ValueConstraint):
+    """Logical OR of value constraints."""
+
+    def __init__(self, parts: Sequence[ValueConstraint]):
+        parts = list(parts)
+        if len(parts) < 2:
+            raise ConstraintError("Disjunction requires at least two parts")
+        self.parts = tuple(parts)
+
+    def matches(self, value: Any) -> bool:
+        return any(part.matches(value) for part in self.parts)
+
+    @property
+    def resolution(self) -> Resolution:
+        return Resolution(min(part.resolution for part in self.parts))
+
+    def seed_values(self) -> list[Any]:
+        seeds: list[Any] = []
+        for part in self.parts:
+            seeds.extend(part.seed_values())
+        return seeds
+
+    def describe(self) -> str:
+        return " || ".join(part.describe() for part in self.parts)
+
+    def _key(self) -> tuple:
+        return (self.parts,)
+
+
+class AnyValue(ValueConstraint):
+    """An explicitly unconstrained (but non-NULL) cell."""
+
+    def matches(self, value: Any) -> bool:
+        return value is not None
+
+    @property
+    def resolution(self) -> Resolution:
+        return Resolution.LOW
+
+    def describe(self) -> str:
+        return "*"
+
+    def _key(self) -> tuple:
+        return ()

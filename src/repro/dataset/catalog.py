@@ -1,0 +1,161 @@
+"""Metadata catalog: per-column statistics collected during preprocessing.
+
+The paper checks metadata constraints against "metadata information, e.g.,
+min/max values, collected during preprocessing" (§2.3).  The catalog stores,
+for every column: declared data type, min/max value, maximum text length,
+row/null/distinct counts, and (for numeric columns) mean and standard
+deviation.  The same statistics later feed the Bayesian selectivity models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.dataset.database import Database
+from repro.dataset.schema import ColumnRef
+from repro.dataset.types import DataType
+from repro.errors import SchemaError
+
+__all__ = ["ColumnStats", "MetadataCatalog"]
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Statistics for one column, as recorded by the catalog."""
+
+    ref: ColumnRef
+    data_type: DataType
+    row_count: int
+    null_count: int
+    distinct_count: int
+    min_value: Optional[Any] = None
+    max_value: Optional[Any] = None
+    max_text_length: Optional[int] = None
+    mean: Optional[float] = None
+    stddev: Optional[float] = None
+
+    @property
+    def non_null_count(self) -> int:
+        """Number of rows with a non-NULL value in this column."""
+        return self.row_count - self.null_count
+
+    @property
+    def null_fraction(self) -> float:
+        """Fraction of rows that are NULL (0.0 for an empty column)."""
+        if self.row_count == 0:
+            return 0.0
+        return self.null_count / self.row_count
+
+    @property
+    def is_numeric(self) -> bool:
+        """Whether this column holds numeric data."""
+        return self.data_type.is_numeric
+
+
+def _numeric_moments(values: list[float]) -> tuple[float, float]:
+    count = len(values)
+    mean = sum(values) / count
+    variance = sum((value - mean) ** 2 for value in values) / count
+    return mean, variance ** 0.5
+
+
+class MetadataCatalog:
+    """Column statistics for every column of a database."""
+
+    def __init__(self) -> None:
+        self._stats: dict[ColumnRef, ColumnStats] = {}
+        self._table_rows: dict[str, int] = {}
+
+    @classmethod
+    def build(cls, database: Database) -> "MetadataCatalog":
+        """Collect statistics for every column of ``database``."""
+        catalog = cls()
+        for table in database:
+            catalog._table_rows[table.name] = table.num_rows
+            for column in table.columns:
+                ref = ColumnRef(table.name, column.name)
+                catalog._stats[ref] = cls._collect(
+                    ref, column.data_type, table.column_values(column.name)
+                )
+        return catalog
+
+    @staticmethod
+    def _collect(
+        ref: ColumnRef, data_type: DataType, values: list[Any]
+    ) -> ColumnStats:
+        non_null = [value for value in values if value is not None]
+        row_count = len(values)
+        null_count = row_count - len(non_null)
+        distinct_count = len(set(non_null))
+
+        min_value: Optional[Any] = None
+        max_value: Optional[Any] = None
+        max_text_length: Optional[int] = None
+        mean: Optional[float] = None
+        stddev: Optional[float] = None
+
+        if non_null:
+            if data_type is DataType.TEXT:
+                max_text_length = max(len(str(value)) for value in non_null)
+                min_value = min(str(value) for value in non_null)
+                max_value = max(str(value) for value in non_null)
+            else:
+                try:
+                    min_value = min(non_null)
+                    max_value = max(non_null)
+                except TypeError:
+                    min_value = None
+                    max_value = None
+            if data_type.is_numeric:
+                numeric = [float(value) for value in non_null]
+                mean, stddev = _numeric_moments(numeric)
+
+        return ColumnStats(
+            ref=ref,
+            data_type=data_type,
+            row_count=row_count,
+            null_count=null_count,
+            distinct_count=distinct_count,
+            min_value=min_value,
+            max_value=max_value,
+            max_text_length=max_text_length,
+            mean=mean,
+            stddev=stddev,
+        )
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    def stats(self, ref: ColumnRef) -> ColumnStats:
+        """Statistics for one column (raises for unknown columns)."""
+        try:
+            return self._stats[ref]
+        except KeyError as exc:
+            raise SchemaError(f"no statistics for column {ref}") from exc
+
+    def has_column(self, ref: ColumnRef) -> bool:
+        """Whether statistics exist for ``ref``."""
+        return ref in self._stats
+
+    def table_row_count(self, table: str) -> int:
+        """Number of rows recorded for ``table`` at build time."""
+        try:
+            return self._table_rows[table]
+        except KeyError as exc:
+            raise SchemaError(f"no statistics for table {table!r}") from exc
+
+    def columns(self) -> list[ColumnRef]:
+        """All columns with recorded statistics."""
+        return list(self._stats)
+
+    def columns_of_type(self, data_type: DataType) -> list[ColumnRef]:
+        """All columns whose declared type equals ``data_type``."""
+        return [
+            ref
+            for ref, stats in self._stats.items()
+            if stats.data_type is data_type
+        ]
+
+    def __len__(self) -> int:
+        return len(self._stats)

@@ -1,0 +1,173 @@
+"""The :class:`Database` container: tables plus foreign-key edges.
+
+A database is the unit the rest of the library operates on: the inverted
+index, metadata catalog, schema graph, Bayesian models and the discovery
+engine are all built from a :class:`Database` instance.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence
+
+from repro.dataset.schema import Column, ColumnRef, ForeignKey
+from repro.dataset.table import Table
+from repro.errors import SchemaError
+
+__all__ = ["Database"]
+
+
+class Database:
+    """A named collection of tables connected by foreign keys."""
+
+    def __init__(self, name: str):
+        if not name or not name.strip():
+            raise SchemaError("database name must be a non-empty string")
+        self.name = name
+        self._tables: dict[str, Table] = {}
+        self._foreign_keys: list[ForeignKey] = []
+
+    # ------------------------------------------------------------------
+    # Tables
+    # ------------------------------------------------------------------
+    def create_table(self, name: str, columns: Sequence[Column]) -> Table:
+        """Create, register and return a new empty table."""
+        table = Table(name, columns)
+        self.add_table(table)
+        return table
+
+    def add_table(self, table: Table) -> None:
+        """Register an existing :class:`Table` instance."""
+        if table.name in self._tables:
+            raise SchemaError(f"table {table.name!r} already exists")
+        self._tables[table.name] = table
+
+    def drop_table(self, name: str) -> None:
+        """Remove a table and any foreign keys touching it."""
+        if name not in self._tables:
+            raise SchemaError(f"no such table: {name!r}")
+        del self._tables[name]
+        self._foreign_keys = [
+            fk for fk in self._foreign_keys if name not in fk.tables()
+        ]
+
+    def has_table(self, name: str) -> bool:
+        """Whether a table named ``name`` exists."""
+        return name in self._tables
+
+    def table(self, name: str) -> Table:
+        """Return the table named ``name``."""
+        try:
+            return self._tables[name]
+        except KeyError as exc:
+            raise SchemaError(f"no such table: {name!r}") from exc
+
+    @property
+    def tables(self) -> dict[str, Table]:
+        """Mapping of table name to :class:`Table` (treat as read-only)."""
+        return self._tables
+
+    @property
+    def table_names(self) -> list[str]:
+        """All table names in registration order."""
+        return list(self._tables)
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    # ------------------------------------------------------------------
+    # Foreign keys
+    # ------------------------------------------------------------------
+    def add_foreign_key(self, foreign_key: ForeignKey) -> None:
+        """Register a foreign-key edge, validating both endpoints exist."""
+        for table_name, column_name in (
+            (foreign_key.child_table, foreign_key.child_column),
+            (foreign_key.parent_table, foreign_key.parent_column),
+        ):
+            table = self.table(table_name)
+            if not table.has_column(column_name):
+                raise SchemaError(
+                    f"foreign key references unknown column "
+                    f"{table_name}.{column_name}"
+                )
+        if foreign_key in self._foreign_keys:
+            return
+        self._foreign_keys.append(foreign_key)
+
+    def link(
+        self,
+        child: str,
+        parent: str,
+        name: Optional[str] = None,
+    ) -> ForeignKey:
+        """Convenience: add a foreign key from ``"Table.column"`` strings."""
+        child_table, _, child_column = child.partition(".")
+        parent_table, _, parent_column = parent.partition(".")
+        if not child_column or not parent_column:
+            raise SchemaError(
+                "link() expects 'Table.column' strings, got "
+                f"{child!r} and {parent!r}"
+            )
+        foreign_key = ForeignKey(
+            child_table, child_column, parent_table, parent_column, name=name
+        )
+        self.add_foreign_key(foreign_key)
+        return foreign_key
+
+    @property
+    def foreign_keys(self) -> list[ForeignKey]:
+        """All registered foreign keys (treat as read-only)."""
+        return self._foreign_keys
+
+    def foreign_keys_between(self, left: str, right: str) -> list[ForeignKey]:
+        """Foreign keys connecting two tables (in either direction)."""
+        result = []
+        for fk in self._foreign_keys:
+            if {left, right} == set(fk.tables()):
+                result.append(fk)
+        return result
+
+    # ------------------------------------------------------------------
+    # Column helpers
+    # ------------------------------------------------------------------
+    def all_column_refs(self) -> list[ColumnRef]:
+        """Every column in the database as a :class:`ColumnRef`."""
+        refs = []
+        for table in self._tables.values():
+            for column in table.columns:
+                refs.append(ColumnRef(table.name, column.name))
+        return refs
+
+    def column(self, ref: ColumnRef) -> Column:
+        """Resolve a :class:`ColumnRef` to its :class:`Column` definition."""
+        return self.table(ref.table).column(ref.column)
+
+    def column_values(self, ref: ColumnRef) -> list:
+        """All values of the referenced column."""
+        return self.table(ref.table).column_values(ref.column)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    @property
+    def total_rows(self) -> int:
+        """Total number of rows across every table."""
+        return sum(table.num_rows for table in self._tables.values())
+
+    def summary(self) -> dict[str, dict[str, int]]:
+        """Small structural summary used by the CLI and examples."""
+        return {
+            table.name: {
+                "columns": len(table.columns),
+                "rows": table.num_rows,
+            }
+            for table in self._tables.values()
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Database(name={self.name!r}, tables={len(self._tables)}, "
+            f"foreign_keys={len(self._foreign_keys)})"
+        )

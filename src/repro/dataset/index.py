@@ -1,0 +1,173 @@
+"""Inverted index over cell values.
+
+The paper validates value constraints on columns "leveraging the inverted
+index provided in most DBMS systems" (§2.3).  This module provides that
+substrate: a value → posting-list index built once per database, plus
+column-level lookups used by related-column discovery.
+
+Text values are indexed both as whole (case-folded) strings and as
+individual word tokens so that a keyword such as ``"Tahoe"`` locates the
+cell ``"Lake Tahoe"``, matching the keyword semantics of sample-driven
+mapping systems.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import defaultdict
+from typing import Any, Iterable, Optional
+
+from repro.dataset.database import Database
+from repro.dataset.schema import ColumnRef
+from repro.dataset.types import DataType
+
+__all__ = ["InvertedIndex", "Posting", "normalize_term"]
+
+_TOKEN_PATTERN = re.compile(r"[A-Za-z0-9]+")
+
+
+def normalize_term(value: Any) -> str:
+    """Normalise a value into its index key (case-folded string)."""
+    if isinstance(value, float) and value.is_integer():
+        # 497.0 and 497 should hit the same key.
+        return str(int(value))
+    return str(value).strip().casefold()
+
+
+def _tokenize(text: str) -> list[str]:
+    return [match.group(0).casefold() for match in _TOKEN_PATTERN.finditer(text)]
+
+
+class Posting:
+    """A single occurrence of an indexed term: (table, column, row index)."""
+
+    __slots__ = ("table", "column", "row_index")
+
+    def __init__(self, table: str, column: str, row_index: int):
+        self.table = table
+        self.column = column
+        self.row_index = row_index
+
+    @property
+    def column_ref(self) -> ColumnRef:
+        """The occurrence's column as a :class:`ColumnRef`."""
+        return ColumnRef(self.table, self.column)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Posting):
+            return NotImplemented
+        return (
+            self.table == other.table
+            and self.column == other.column
+            and self.row_index == other.row_index
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.table, self.column, self.row_index))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Posting({self.table}.{self.column}[{self.row_index}])"
+
+
+class InvertedIndex:
+    """Value → posting list index over an entire database."""
+
+    def __init__(self) -> None:
+        self._exact: dict[str, list[Posting]] = defaultdict(list)
+        self._tokens: dict[str, list[Posting]] = defaultdict(list)
+        self._indexed_cells = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, database: Database) -> "InvertedIndex":
+        """Build the index over every table of ``database``."""
+        index = cls()
+        for table in database:
+            for column in table.columns:
+                position = table.column_position(column.name)
+                for row_index, row in enumerate(table.rows):
+                    value = row[position]
+                    if value is None:
+                        continue
+                    index._add(table.name, column.name, row_index, value,
+                               column.data_type)
+        return index
+
+    def _add(
+        self,
+        table: str,
+        column: str,
+        row_index: int,
+        value: Any,
+        data_type: DataType,
+    ) -> None:
+        posting = Posting(table, column, row_index)
+        key = normalize_term(value)
+        self._exact[key].append(posting)
+        self._indexed_cells += 1
+        if data_type is DataType.TEXT and isinstance(value, str):
+            for token in _tokenize(value):
+                if token != key:
+                    self._tokens[token].append(posting)
+
+    # ------------------------------------------------------------------
+    # Lookups
+    # ------------------------------------------------------------------
+    @property
+    def indexed_cells(self) -> int:
+        """Number of non-NULL cells indexed."""
+        return self._indexed_cells
+
+    @property
+    def num_terms(self) -> int:
+        """Number of distinct exact terms in the index."""
+        return len(self._exact)
+
+    def lookup(self, value: Any, include_tokens: bool = True) -> list[Posting]:
+        """All postings whose cell equals ``value`` (or contains it as a word).
+
+        Args:
+            value: the keyword or literal to search for.
+            include_tokens: also match word tokens inside text cells.
+        """
+        key = normalize_term(value)
+        postings = list(self._exact.get(key, ()))
+        if include_tokens:
+            postings.extend(self._tokens.get(key, ()))
+        return postings
+
+    def columns_containing(
+        self, value: Any, include_tokens: bool = True
+    ) -> set[ColumnRef]:
+        """Distinct columns that contain ``value`` in at least one row."""
+        return {
+            posting.column_ref
+            for posting in self.lookup(value, include_tokens=include_tokens)
+        }
+
+    def columns_containing_any(
+        self, values: Iterable[Any], include_tokens: bool = True
+    ) -> set[ColumnRef]:
+        """Columns containing at least one of ``values``."""
+        result: set[ColumnRef] = set()
+        for value in values:
+            result |= self.columns_containing(value, include_tokens=include_tokens)
+        return result
+
+    def row_indexes(self, column: ColumnRef, value: Any) -> set[int]:
+        """Row indexes of ``column`` whose cell matches ``value``."""
+        return {
+            posting.row_index
+            for posting in self.lookup(value)
+            if posting.table == column.table and posting.column == column.column
+        }
+
+    def term_frequency(self, value: Any) -> int:
+        """Number of cells whose exact value equals ``value``."""
+        return len(self._exact.get(normalize_term(value), ()))
+
+    def column_term_frequency(self, column: ColumnRef, value: Any) -> int:
+        """Number of cells of ``column`` matching ``value`` (incl. tokens)."""
+        return len(self.row_indexes(column, value))

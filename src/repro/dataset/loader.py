@@ -1,0 +1,122 @@
+"""CSV import/export for databases.
+
+The demo's source databases (Mondial, IMDB, NBA) are generated
+synthetically in :mod:`repro.datasets`, but real deployments load dumps
+from disk.  This module round-trips a :class:`Database` through a simple
+directory-of-CSV-files layout with a small JSON manifest describing column
+types and foreign keys, so users can plug in their own data.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.dataset.database import Database
+from repro.dataset.schema import Column, ForeignKey
+from repro.dataset.types import DataType
+from repro.errors import DataError, SchemaError
+
+__all__ = ["save_database", "load_database", "MANIFEST_NAME"]
+
+MANIFEST_NAME = "manifest.json"
+
+
+def save_database(database: Database, directory: Union[str, Path]) -> Path:
+    """Write ``database`` to ``directory`` as CSV files plus a manifest.
+
+    Returns the path of the manifest file.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    manifest = {
+        "name": database.name,
+        "tables": {},
+        "foreign_keys": [
+            {
+                "child_table": fk.child_table,
+                "child_column": fk.child_column,
+                "parent_table": fk.parent_table,
+                "parent_column": fk.parent_column,
+                "name": fk.name,
+            }
+            for fk in database.foreign_keys
+        ],
+    }
+    for table in database:
+        manifest["tables"][table.name] = {
+            "file": f"{table.name}.csv",
+            "columns": [
+                {
+                    "name": column.name,
+                    "type": column.data_type.value,
+                    "nullable": column.nullable,
+                    "primary_key": column.primary_key,
+                }
+                for column in table.columns
+            ],
+        }
+        with open(directory / f"{table.name}.csv", "w", newline="",
+                  encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(table.column_names)
+            for row in table.rows:
+                writer.writerow(["" if cell is None else cell for cell in row])
+    manifest_path = directory / MANIFEST_NAME
+    with open(manifest_path, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, default=str)
+    return manifest_path
+
+
+def load_database(directory: Union[str, Path]) -> Database:
+    """Load a database previously written by :func:`save_database`."""
+    directory = Path(directory)
+    manifest_path = directory / MANIFEST_NAME
+    if not manifest_path.exists():
+        raise DataError(f"no manifest found at {manifest_path}")
+    with open(manifest_path, encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    if "name" not in manifest or "tables" not in manifest:
+        raise DataError("manifest is missing required keys 'name'/'tables'")
+
+    database = Database(manifest["name"])
+    for table_name, spec in manifest["tables"].items():
+        columns = [
+            Column(
+                name=column["name"],
+                data_type=DataType.from_name(column["type"]),
+                nullable=column.get("nullable", True),
+                primary_key=column.get("primary_key", False),
+            )
+            for column in spec["columns"]
+        ]
+        table = database.create_table(table_name, columns)
+        csv_path = directory / spec["file"]
+        if not csv_path.exists():
+            raise DataError(f"missing CSV file for table {table_name!r}: {csv_path}")
+        with open(csv_path, newline="", encoding="utf-8") as handle:
+            reader = csv.reader(handle)
+            header = next(reader, None)
+            if header is None:
+                continue
+            if tuple(header) != table.column_names:
+                raise SchemaError(
+                    f"CSV header for {table_name!r} does not match manifest columns"
+                )
+            for raw_row in reader:
+                row = [None if cell == "" else cell for cell in raw_row]
+                table.insert(row, coerce=True)
+
+    for fk_spec in manifest.get("foreign_keys", []):
+        database.add_foreign_key(
+            ForeignKey(
+                child_table=fk_spec["child_table"],
+                child_column=fk_spec["child_column"],
+                parent_table=fk_spec["parent_table"],
+                parent_column=fk_spec["parent_column"],
+                name=fk_spec.get("name"),
+            )
+        )
+    return database

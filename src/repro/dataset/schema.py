@@ -1,0 +1,114 @@
+"""Schema objects: columns, column references and foreign keys.
+
+These small immutable value objects are shared across the whole library:
+the engine stores data against :class:`Column` definitions, the discovery
+pipeline reasons about :class:`ColumnRef` instances (table + column name),
+and :class:`ForeignKey` edges define the schema graph used for join-path
+enumeration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.dataset.types import DataType
+from repro.errors import SchemaError
+
+__all__ = ["Column", "ColumnRef", "ForeignKey"]
+
+
+@dataclass(frozen=True)
+class Column:
+    """A column definition inside a table.
+
+    Attributes:
+        name: column name, unique within its table.
+        data_type: declared :class:`DataType` of the column.
+        nullable: whether NULL values are permitted.
+        primary_key: whether this column is (part of) the table's key.
+    """
+
+    name: str
+    data_type: DataType
+    nullable: bool = True
+    primary_key: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.strip():
+            raise SchemaError("column name must be a non-empty string")
+        if not isinstance(self.data_type, DataType):
+            raise SchemaError(
+                f"column {self.name!r}: data_type must be a DataType, "
+                f"got {type(self.data_type).__name__}"
+            )
+
+
+@dataclass(frozen=True, order=True)
+class ColumnRef:
+    """A fully qualified reference to ``table.column``."""
+
+    table: str
+    column: str
+
+    def __post_init__(self) -> None:
+        if not self.table or not self.column:
+            raise SchemaError("ColumnRef requires non-empty table and column")
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.table}.{self.column}"
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A foreign-key (join) edge between two tables.
+
+    The direction is informational only; join-path enumeration treats
+    foreign keys as undirected edges, exactly as the paper's schema graph
+    does.
+
+    Attributes:
+        child_table / child_column: the referencing side.
+        parent_table / parent_column: the referenced side.
+        name: optional human-readable name used in explanations.
+    """
+
+    child_table: str
+    child_column: str
+    parent_table: str
+    parent_column: str
+    name: Optional[str] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        for value, label in (
+            (self.child_table, "child_table"),
+            (self.child_column, "child_column"),
+            (self.parent_table, "parent_table"),
+            (self.parent_column, "parent_column"),
+        ):
+            if not value:
+                raise SchemaError(f"ForeignKey {label} must be non-empty")
+        if self.child_table == self.parent_table and (
+            self.child_column == self.parent_column
+        ):
+            raise SchemaError("ForeignKey cannot reference itself")
+
+    @property
+    def child_ref(self) -> ColumnRef:
+        """The referencing column as a :class:`ColumnRef`."""
+        return ColumnRef(self.child_table, self.child_column)
+
+    @property
+    def parent_ref(self) -> ColumnRef:
+        """The referenced column as a :class:`ColumnRef`."""
+        return ColumnRef(self.parent_table, self.parent_column)
+
+    def tables(self) -> tuple[str, str]:
+        """Both endpoint table names."""
+        return (self.child_table, self.parent_table)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"{self.child_table}.{self.child_column} -> "
+            f"{self.parent_table}.{self.parent_column}"
+        )

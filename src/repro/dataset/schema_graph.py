@@ -1,0 +1,188 @@
+"""Schema graph and join-tree enumeration.
+
+The paper "exhaustively search[es] through the source database schema graph
+and find[s] all possible join paths, each connecting a set of related
+columns" (§2.3).  This module builds that graph — nodes are tables, edges
+are foreign keys — and enumerates *join trees*: acyclic sets of foreign-key
+edges whose induced subgraph is connected and spans a required set of
+tables, optionally passing through a bounded number of intermediate tables.
+
+The enumeration is exhaustive up to the configured bounds (maximum number
+of tables in a tree and maximum number of trees returned), which mirrors
+the paper's bounded interactive search.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+import networkx as nx
+
+from repro.dataset.database import Database
+from repro.dataset.schema import ForeignKey
+from repro.errors import SchemaError
+
+__all__ = ["SchemaGraph"]
+
+
+class SchemaGraph:
+    """Undirected multigraph over the tables of a database."""
+
+    def __init__(self, database: Database):
+        self._database = database
+        self._graph = nx.MultiGraph()
+        for table_name in database.table_names:
+            self._graph.add_node(table_name)
+        for foreign_key in database.foreign_keys:
+            self._graph.add_edge(
+                foreign_key.child_table,
+                foreign_key.parent_table,
+                fk=foreign_key,
+            )
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> nx.MultiGraph:
+        """The underlying networkx multigraph (treat as read-only)."""
+        return self._graph
+
+    @property
+    def tables(self) -> list[str]:
+        """All table names (graph nodes)."""
+        return list(self._graph.nodes)
+
+    def neighbors(self, table: str) -> set[str]:
+        """Tables directly joinable with ``table``."""
+        if table not in self._graph:
+            raise SchemaError(f"unknown table in schema graph: {table!r}")
+        return set(self._graph.neighbors(table))
+
+    def join_edges(self, left: str, right: str) -> list[ForeignKey]:
+        """All foreign keys connecting ``left`` and ``right``."""
+        if left not in self._graph or right not in self._graph:
+            return []
+        if not self._graph.has_edge(left, right):
+            return []
+        return [
+            data["fk"] for data in self._graph.get_edge_data(left, right).values()
+        ]
+
+    def incident_foreign_keys(self, table: str) -> list[ForeignKey]:
+        """All foreign keys with ``table`` as one endpoint."""
+        result = []
+        for __, __, data in self._graph.edges(table, data=True):
+            result.append(data["fk"])
+        return result
+
+    def is_connected(self, tables: Iterable[str]) -> bool:
+        """Whether the given tables lie in one connected component."""
+        tables = list(tables)
+        if not tables:
+            return True
+        components = nx.connected_components(self._graph)
+        for component in components:
+            if all(table in component for table in tables):
+                return True
+        return False
+
+    def distance(self, left: str, right: str) -> Optional[int]:
+        """Shortest join-path length between two tables (None if disconnected)."""
+        try:
+            return nx.shortest_path_length(self._graph, left, right)
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            return None
+
+    # ------------------------------------------------------------------
+    # Join-tree enumeration
+    # ------------------------------------------------------------------
+    def join_trees(
+        self,
+        required_tables: Iterable[str],
+        max_tables: Optional[int] = None,
+        max_trees: Optional[int] = None,
+    ) -> list[tuple[ForeignKey, ...]]:
+        """Enumerate join trees spanning ``required_tables``.
+
+        A join tree is a set of foreign-key edges whose induced graph is a
+        tree containing every required table.  Intermediate tables are
+        allowed as long as the total number of tables does not exceed
+        ``max_tables`` (default: ``len(required) + 2``).
+
+        Args:
+            required_tables: tables that must appear in every tree.
+            max_tables: cap on the total number of tables in a tree.
+            max_trees: cap on the number of trees returned.
+
+        Returns:
+            A list of edge tuples; the single-table case yields one empty
+            tuple.  Trees are returned smaller-first (fewer edges first).
+        """
+        required = sorted(set(required_tables))
+        for table in required:
+            if table not in self._graph:
+                raise SchemaError(f"unknown table in schema graph: {table!r}")
+        if not required:
+            return [()]
+        if max_tables is None:
+            max_tables = len(required) + 2
+        max_tables = max(max_tables, len(required))
+
+        results: list[tuple[ForeignKey, ...]] = []
+        seen: set[frozenset[ForeignKey]] = set()
+        required_set = frozenset(required)
+
+        for tree in self._enumerate_trees(required_set, max_tables):
+            key = frozenset(tree)
+            if key in seen:
+                continue
+            seen.add(key)
+            results.append(tree)
+            if max_trees is not None and len(results) >= max_trees:
+                break
+        results.sort(key=lambda edges: (len(edges), [str(edge) for edge in edges]))
+        return results
+
+    def _enumerate_trees(
+        self, required: frozenset[str], max_tables: int
+    ) -> Iterator[tuple[ForeignKey, ...]]:
+        start = min(required)
+        if len(required) == 1 and max_tables >= 1:
+            yield ()
+        # Breadth-first expansion over partial trees.  A state is
+        # (tables in the tree, edges of the tree); we only ever attach an
+        # edge to a *new* table, so every state is a tree by construction.
+        initial = (frozenset({start}), ())
+        frontier: list[tuple[frozenset[str], tuple[ForeignKey, ...]]] = [initial]
+        emitted: set[frozenset[ForeignKey]] = set()
+        while frontier:
+            next_frontier: list[tuple[frozenset[str], tuple[ForeignKey, ...]]] = []
+            for tables, edges in frontier:
+                if len(tables) >= max_tables:
+                    continue
+                for table in tables:
+                    for __, other, data in self._graph.edges(table, data=True):
+                        if other in tables:
+                            continue
+                        foreign_key = data["fk"]
+                        new_tables = tables | {other}
+                        new_edges = edges + (foreign_key,)
+                        edge_key = frozenset(new_edges)
+                        if edge_key in emitted:
+                            continue
+                        emitted.add(edge_key)
+                        if required <= new_tables:
+                            yield new_edges
+                        next_frontier.append((new_tables, new_edges))
+            frontier = next_frontier
+
+    @staticmethod
+    def tree_tables(edges: Iterable[ForeignKey], default: Optional[str] = None) -> set[str]:
+        """The set of tables touched by a join tree's edges."""
+        tables: set[str] = set()
+        for edge in edges:
+            tables.update(edge.tables())
+        if not tables and default is not None:
+            tables.add(default)
+        return tables

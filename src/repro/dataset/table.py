@@ -1,0 +1,187 @@
+"""In-memory relation storage.
+
+A :class:`Table` stores its rows as plain tuples and offers column-oriented
+access helpers used by the inverted index, the metadata catalog and the
+Bayesian model trainer.  Rows are validated against the declared column
+types on insertion so that downstream code never has to defend against
+mis-typed cells.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Optional, Sequence
+
+from repro.dataset.schema import Column
+from repro.dataset.types import DataType, coerce_value, detect_type
+from repro.errors import DataError, SchemaError
+
+__all__ = ["Table"]
+
+
+class Table:
+    """A named relation with typed columns and tuple rows."""
+
+    def __init__(self, name: str, columns: Sequence[Column]):
+        if not name or not name.strip():
+            raise SchemaError("table name must be a non-empty string")
+        if not columns:
+            raise SchemaError(f"table {name!r} must have at least one column")
+        names = [column.name for column in columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"table {name!r} has duplicate column names")
+        self.name = name
+        self.columns: tuple[Column, ...] = tuple(columns)
+        self._column_index: dict[str, int] = {
+            column.name: position for position, column in enumerate(columns)
+        }
+        self._rows: list[tuple[Any, ...]] = []
+
+    # ------------------------------------------------------------------
+    # Schema helpers
+    # ------------------------------------------------------------------
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        """Names of all columns in declaration order."""
+        return tuple(column.name for column in self.columns)
+
+    def has_column(self, name: str) -> bool:
+        """Whether a column with ``name`` exists."""
+        return name in self._column_index
+
+    def column(self, name: str) -> Column:
+        """Return the :class:`Column` definition for ``name``."""
+        try:
+            return self.columns[self._column_index[name]]
+        except KeyError as exc:
+            raise SchemaError(
+                f"table {self.name!r} has no column {name!r}"
+            ) from exc
+
+    def column_position(self, name: str) -> int:
+        """Return the 0-based position of column ``name``."""
+        try:
+            return self._column_index[name]
+        except KeyError as exc:
+            raise SchemaError(
+                f"table {self.name!r} has no column {name!r}"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    # Row storage
+    # ------------------------------------------------------------------
+    def insert(self, row: Sequence[Any], coerce: bool = False) -> None:
+        """Insert a single row.
+
+        Args:
+            row: cell values in column order.
+            coerce: when ``True``, attempt to coerce each cell to its
+                column's declared type; when ``False`` (the default) a
+                mis-typed cell raises :class:`DataError`.
+        """
+        if len(row) != len(self.columns):
+            raise DataError(
+                f"table {self.name!r}: expected {len(self.columns)} cells, "
+                f"got {len(row)}"
+            )
+        prepared: list[Any] = []
+        for column, value in zip(self.columns, row):
+            prepared.append(self._prepare_cell(column, value, coerce))
+        self._rows.append(tuple(prepared))
+
+    def insert_many(self, rows: Iterable[Sequence[Any]], coerce: bool = False) -> int:
+        """Insert many rows; returns the number of rows inserted."""
+        count = 0
+        for row in rows:
+            self.insert(row, coerce=coerce)
+            count += 1
+        return count
+
+    def _prepare_cell(self, column: Column, value: Any, coerce: bool) -> Any:
+        if value is None:
+            if not column.nullable:
+                raise DataError(
+                    f"table {self.name!r}: NULL in non-nullable column "
+                    f"{column.name!r}"
+                )
+            return None
+        if coerce:
+            return coerce_value(value, column.data_type)
+        detected = detect_type(value)
+        if detected is column.data_type:
+            return value
+        # Ints are acceptable in decimal columns without explicit coercion.
+        if column.data_type is DataType.DECIMAL and detected is DataType.INT:
+            return float(value)
+        raise DataError(
+            f"table {self.name!r}, column {column.name!r}: expected "
+            f"{column.data_type.value}, got {detected.value if detected else None} "
+            f"({value!r})"
+        )
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    @property
+    def rows(self) -> list[tuple[Any, ...]]:
+        """All rows (list of tuples).  Treat as read-only."""
+        return self._rows
+
+    @property
+    def num_rows(self) -> int:
+        """Number of stored rows."""
+        return len(self._rows)
+
+    def row(self, index: int) -> tuple[Any, ...]:
+        """Return the row at ``index``."""
+        return self._rows[index]
+
+    def cell(self, row_index: int, column_name: str) -> Any:
+        """Return a single cell by row index and column name."""
+        return self._rows[row_index][self.column_position(column_name)]
+
+    def column_values(self, name: str) -> list[Any]:
+        """All values of one column, in row order (including NULLs)."""
+        position = self.column_position(name)
+        return [row[position] for row in self._rows]
+
+    def distinct_values(self, name: str) -> set[Any]:
+        """Distinct non-NULL values of one column."""
+        position = self.column_position(name)
+        return {row[position] for row in self._rows if row[position] is not None}
+
+    def select(
+        self,
+        columns: Optional[Sequence[str]] = None,
+        where: Optional[dict[str, Any]] = None,
+    ) -> list[tuple[Any, ...]]:
+        """A tiny convenience selection used by tests and examples.
+
+        Args:
+            columns: column names to project (all columns when ``None``).
+            where: equality predicates ``{column: value}``.
+        """
+        if columns is None:
+            positions = list(range(len(self.columns)))
+        else:
+            positions = [self.column_position(name) for name in columns]
+        predicates = [
+            (self.column_position(name), value)
+            for name, value in (where or {}).items()
+        ]
+        result = []
+        for row in self._rows:
+            if all(row[pos] == value for pos, value in predicates):
+                result.append(tuple(row[pos] for pos in positions))
+        return result
+
+    def __iter__(self) -> Iterator[tuple[Any, ...]]:
+        return iter(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"Table(name={self.name!r}, columns={len(self.columns)}, "
+            f"rows={len(self._rows)})"
+        )

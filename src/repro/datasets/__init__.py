@@ -1,0 +1,43 @@
+"""Synthetic source databases: Mondial, IMDB, NBA and a generic generator.
+
+These stand in for the real data sets the demo uses (which cannot be
+redistributed); they reproduce the same schema shapes and join structure.
+"""
+
+from typing import Callable
+
+from repro.dataset.database import Database
+from repro.datasets.imdb import load_imdb
+from repro.datasets.mondial import load_mondial
+from repro.datasets.nba import load_nba
+from repro.datasets.synthetic import generate_synthetic_database
+
+__all__ = [
+    "available_databases",
+    "generate_synthetic_database",
+    "load_database_by_name",
+    "load_imdb",
+    "load_mondial",
+    "load_nba",
+]
+
+_LOADERS: dict[str, Callable[[], Database]] = {
+    "mondial": load_mondial,
+    "imdb": load_imdb,
+    "nba": load_nba,
+}
+
+
+def available_databases() -> list[str]:
+    """Names of the bundled demo databases."""
+    return sorted(_LOADERS)
+
+
+def load_database_by_name(name: str) -> Database:
+    """Load one of the bundled demo databases by name."""
+    normalized = name.strip().lower()
+    if normalized not in _LOADERS:
+        raise KeyError(
+            f"unknown database {name!r}; available: {available_databases()}"
+        )
+    return _LOADERS[normalized]()

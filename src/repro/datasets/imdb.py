@@ -1,0 +1,249 @@
+"""Synthetic IMDB: the movie database offered in the demo (§3).
+
+Schema shape follows the classic IMDB relational export: movies, people,
+cast membership, directing credits, genres and a movie-genre link table.
+A hand-curated core of well-known titles and people keeps interactive
+examples meaningful; seeded pseudo-random filler provides volume for the
+statistics and the Bayesian models.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.dataset.database import Database
+from repro.dataset.schema import Column
+from repro.dataset.types import DataType
+
+__all__ = ["load_imdb"]
+
+_REAL_MOVIES = [
+    # (title, year, rating, votes, runtime_min)
+    ("The Shawshank Redemption", 1994, 9.3, 2_600_000, 142),
+    ("The Godfather", 1972, 9.2, 1_800_000, 175),
+    ("The Dark Knight", 2008, 9.0, 2_500_000, 152),
+    ("Pulp Fiction", 1994, 8.9, 2_000_000, 154),
+    ("Inception", 2010, 8.8, 2_300_000, 148),
+    ("Fight Club", 1999, 8.8, 2_100_000, 139),
+    ("Forrest Gump", 1994, 8.8, 2_000_000, 142),
+    ("The Matrix", 1999, 8.7, 1_900_000, 136),
+    ("Goodfellas", 1990, 8.7, 1_100_000, 145),
+    ("Interstellar", 2014, 8.6, 1_800_000, 169),
+    ("Parasite", 2019, 8.5, 800_000, 132),
+    ("Whiplash", 2014, 8.5, 900_000, 106),
+    ("The Prestige", 2006, 8.5, 1_300_000, 130),
+    ("Memento", 2000, 8.4, 1_200_000, 113),
+    ("Alien", 1979, 8.5, 900_000, 117),
+]
+
+_REAL_PEOPLE = [
+    # (name, birth_year)
+    ("Morgan Freeman", 1937),
+    ("Tim Robbins", 1958),
+    ("Marlon Brando", 1924),
+    ("Al Pacino", 1940),
+    ("Christian Bale", 1974),
+    ("Heath Ledger", 1979),
+    ("John Travolta", 1954),
+    ("Samuel Jackson", 1948),
+    ("Leonardo DiCaprio", 1974),
+    ("Brad Pitt", 1963),
+    ("Tom Hanks", 1956),
+    ("Keanu Reeves", 1964),
+    ("Robert De Niro", 1943),
+    ("Matthew McConaughey", 1969),
+    ("Christopher Nolan", 1970),
+    ("Quentin Tarantino", 1963),
+    ("Martin Scorsese", 1942),
+    ("David Fincher", 1962),
+    ("Ridley Scott", 1937),
+    ("Bong Joon-ho", 1969),
+    ("Sigourney Weaver", 1949),
+]
+
+_REAL_CAST = [
+    # (movie title, person name, role)
+    ("The Shawshank Redemption", "Morgan Freeman", "lead"),
+    ("The Shawshank Redemption", "Tim Robbins", "lead"),
+    ("The Godfather", "Marlon Brando", "lead"),
+    ("The Godfather", "Al Pacino", "lead"),
+    ("The Dark Knight", "Christian Bale", "lead"),
+    ("The Dark Knight", "Heath Ledger", "villain"),
+    ("Pulp Fiction", "John Travolta", "lead"),
+    ("Pulp Fiction", "Samuel Jackson", "lead"),
+    ("Inception", "Leonardo DiCaprio", "lead"),
+    ("Fight Club", "Brad Pitt", "lead"),
+    ("Forrest Gump", "Tom Hanks", "lead"),
+    ("The Matrix", "Keanu Reeves", "lead"),
+    ("Goodfellas", "Robert De Niro", "lead"),
+    ("Interstellar", "Matthew McConaughey", "lead"),
+    ("The Prestige", "Christian Bale", "lead"),
+    ("Alien", "Sigourney Weaver", "lead"),
+]
+
+_REAL_DIRECTORS = [
+    # (movie title, director name)
+    ("The Dark Knight", "Christopher Nolan"),
+    ("Inception", "Christopher Nolan"),
+    ("Interstellar", "Christopher Nolan"),
+    ("The Prestige", "Christopher Nolan"),
+    ("Memento", "Christopher Nolan"),
+    ("Pulp Fiction", "Quentin Tarantino"),
+    ("Goodfellas", "Martin Scorsese"),
+    ("Fight Club", "David Fincher"),
+    ("Alien", "Ridley Scott"),
+    ("Parasite", "Bong Joon-ho"),
+]
+
+_GENRES = [
+    "Drama", "Crime", "Action", "Thriller", "Sci-Fi", "Comedy",
+    "Romance", "Horror", "Adventure", "Mystery", "Biography", "War",
+]
+
+_TITLE_WORDS = [
+    "Midnight", "Echo", "Shadow", "Crimson", "Silent", "Broken", "Last",
+    "Hidden", "Golden", "Iron", "Lost", "Winter", "Electric", "Paper",
+    "Glass", "Burning", "Distant", "Final", "Forgotten", "Northern",
+]
+_TITLE_NOUNS = [
+    "Horizon", "Garden", "Protocol", "Empire", "Voyage", "Letters",
+    "Harbor", "Signal", "Kingdom", "Paradox", "Station", "Covenant",
+    "Symphony", "Frontier", "Requiem", "Mirage",
+]
+_FIRST_NAMES = [
+    "Ava", "Noah", "Mia", "Liam", "Zoe", "Ethan", "Lena", "Owen", "Iris",
+    "Felix", "Nora", "Jonas", "Clara", "Hugo", "Stella", "Marco",
+]
+_LAST_NAMES = [
+    "Kowalski", "Navarro", "Lindqvist", "Okafor", "Tanaka", "Moreau",
+    "Petrov", "Silva", "Haddad", "Novak", "Fischer", "Romano",
+]
+
+
+def load_imdb(
+    seed: int = 11,
+    extra_movies: int = 150,
+    extra_people: int = 120,
+) -> Database:
+    """Build the synthetic IMDB database."""
+    rng = random.Random(seed)
+    database = Database("imdb")
+
+    movie = database.create_table(
+        "Movie",
+        [
+            Column("Id", DataType.INT, primary_key=True),
+            Column("Title", DataType.TEXT),
+            Column("Year", DataType.INT),
+            Column("Rating", DataType.DECIMAL),
+            Column("Votes", DataType.INT),
+            Column("Runtime", DataType.INT),
+        ],
+    )
+    person = database.create_table(
+        "Person",
+        [
+            Column("Id", DataType.INT, primary_key=True),
+            Column("Name", DataType.TEXT),
+            Column("BirthYear", DataType.INT),
+        ],
+    )
+    cast = database.create_table(
+        "Cast",
+        [
+            Column("MovieId", DataType.INT),
+            Column("PersonId", DataType.INT),
+            Column("Role", DataType.TEXT),
+        ],
+    )
+    directs = database.create_table(
+        "Directs",
+        [
+            Column("MovieId", DataType.INT),
+            Column("PersonId", DataType.INT),
+        ],
+    )
+    genre = database.create_table(
+        "Genre",
+        [
+            Column("Id", DataType.INT, primary_key=True),
+            Column("Name", DataType.TEXT),
+        ],
+    )
+    movie_genre = database.create_table(
+        "MovieGenre",
+        [
+            Column("MovieId", DataType.INT),
+            Column("GenreId", DataType.INT),
+        ],
+    )
+
+    # People ------------------------------------------------------------
+    person_ids: list[int] = []
+    for person_id, (name, birth_year) in enumerate(_REAL_PEOPLE, start=1):
+        person.insert((person_id, name, birth_year))
+        person_ids.append(person_id)
+    next_person_id = len(_REAL_PEOPLE) + 1
+    for __ in range(extra_people):
+        name = f"{rng.choice(_FIRST_NAMES)} {rng.choice(_LAST_NAMES)}"
+        person.insert((next_person_id, name, rng.randint(1930, 2000)))
+        person_ids.append(next_person_id)
+        next_person_id += 1
+
+    # Genres ------------------------------------------------------------
+    for genre_id, name in enumerate(_GENRES, start=1):
+        genre.insert((genre_id, name))
+
+    # Movies, cast, directors, genres ------------------------------------
+    roles = ["lead", "supporting", "cameo", "villain", "narrator"]
+
+    def link_movie(movie_id: int) -> None:
+        for person_id in rng.sample(person_ids, rng.randint(2, 5)):
+            cast.insert((movie_id, person_id, rng.choice(roles)))
+        directs.insert((movie_id, rng.choice(person_ids)))
+        for genre_id in rng.sample(range(1, len(_GENRES) + 1), rng.randint(1, 3)):
+            movie_genre.insert((movie_id, genre_id))
+
+    movie_id_by_title: dict[str, int] = {}
+    person_id_by_name: dict[str, int] = {
+        name: person_id
+        for person_id, (name, __) in enumerate(_REAL_PEOPLE, start=1)
+    }
+    for movie_id, (title, year, rating, votes, runtime) in enumerate(
+        _REAL_MOVIES, start=1
+    ):
+        movie.insert((movie_id, title, year, rating, votes, runtime))
+        movie_id_by_title[title] = movie_id
+        link_movie(movie_id)
+    # Curated, always-present credits so the famous pairings the examples
+    # rely on (e.g. DiCaprio in Inception) exist regardless of the seed.
+    for title, person_name, role in _REAL_CAST:
+        if title in movie_id_by_title and person_name in person_id_by_name:
+            cast.insert((movie_id_by_title[title], person_id_by_name[person_name], role))
+    for title, person_name in _REAL_DIRECTORS:
+        if title in movie_id_by_title and person_name in person_id_by_name:
+            directs.insert((movie_id_by_title[title], person_id_by_name[person_name]))
+    next_movie_id = len(_REAL_MOVIES) + 1
+    for __ in range(extra_movies):
+        title = f"{rng.choice(_TITLE_WORDS)} {rng.choice(_TITLE_NOUNS)}"
+        movie.insert(
+            (
+                next_movie_id,
+                title,
+                rng.randint(1960, 2023),
+                round(rng.uniform(3.0, 9.0), 1),
+                rng.randint(1_000, 2_000_000),
+                rng.randint(80, 200),
+            )
+        )
+        link_movie(next_movie_id)
+        next_movie_id += 1
+
+    # Foreign keys -------------------------------------------------------
+    database.link("Cast.MovieId", "Movie.Id")
+    database.link("Cast.PersonId", "Person.Id")
+    database.link("Directs.MovieId", "Movie.Id")
+    database.link("Directs.PersonId", "Person.Id")
+    database.link("MovieGenre.MovieId", "Movie.Id")
+    database.link("MovieGenre.GenreId", "Genre.Id")
+    return database

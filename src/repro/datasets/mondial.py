@@ -1,0 +1,337 @@
+"""Synthetic Mondial: the geography database used throughout the paper.
+
+The real Mondial data set (May, 1999) cannot be redistributed here, so this
+module generates a deterministic synthetic database with the same schema
+shape and the same join structure the paper's motivating example relies on:
+
+* ``Country`` / ``Province`` / ``City`` with their containment joins,
+* ``Lake`` / ``geo_lake``, ``River`` / ``geo_river``,
+  ``Mountain`` / ``geo_mountain`` linking geographic features to the
+  provinces and countries they lie in.
+
+The motivating example's entities (Lake Tahoe in California/Nevada with an
+area of 497 km², Crater Lake in Oregon, ...) are included verbatim so the
+demo walk-through of §3 can be reproduced exactly.  The remaining content
+is seeded pseudo-random filler that gives the Bayesian models realistic
+value distributions.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.dataset.database import Database
+from repro.dataset.schema import Column
+from repro.dataset.types import DataType
+
+__all__ = ["load_mondial"]
+
+_REAL_COUNTRIES = [
+    # (name, code, capital, population, area_km2)
+    ("United States", "USA", "Washington", 331_000_000, 9_834_000),
+    ("Canada", "CDN", "Ottawa", 38_000_000, 9_985_000),
+    ("Mexico", "MEX", "Mexico City", 126_000_000, 1_964_000),
+    ("Germany", "D", "Berlin", 83_000_000, 357_000),
+    ("France", "F", "Paris", 67_000_000, 644_000),
+    ("Italy", "I", "Rome", 60_000_000, 301_000),
+    ("Spain", "E", "Madrid", 47_000_000, 506_000),
+    ("Japan", "J", "Tokyo", 126_000_000, 378_000),
+    ("China", "CN", "Beijing", 1_402_000_000, 9_597_000),
+    ("India", "IND", "New Delhi", 1_380_000_000, 3_287_000),
+    ("Brazil", "BR", "Brasilia", 212_000_000, 8_516_000),
+    ("Australia", "AUS", "Canberra", 25_000_000, 7_692_000),
+    ("Russia", "R", "Moscow", 144_000_000, 17_098_000),
+    ("Egypt", "ET", "Cairo", 102_000_000, 1_010_000),
+    ("Kenya", "EAK", "Nairobi", 53_000_000, 580_000),
+    ("Norway", "N", "Oslo", 5_400_000, 385_000),
+    ("Sweden", "S", "Stockholm", 10_400_000, 450_000),
+    ("Finland", "SF", "Helsinki", 5_500_000, 338_000),
+    ("Switzerland", "CH", "Bern", 8_600_000, 41_000),
+    ("Austria", "A", "Vienna", 8_900_000, 84_000),
+]
+
+_US_PROVINCES = [
+    # (name, population, area_km2)
+    ("California", 39_500_000, 423_967),
+    ("Nevada", 3_100_000, 286_380),
+    ("Oregon", 4_200_000, 254_799),
+    ("Washington State", 7_700_000, 184_661),
+    ("Montana", 1_070_000, 380_831),
+    ("Florida", 21_500_000, 170_312),
+    ("Texas", 29_000_000, 695_662),
+    ("New York", 20_200_000, 141_297),
+    ("Arizona", 7_300_000, 295_234),
+    ("Utah", 3_300_000, 219_882),
+    ("Colorado", 5_800_000, 269_601),
+    ("Michigan", 10_000_000, 250_487),
+]
+
+_REAL_LAKES = [
+    # (name, area_km2, depth_m, altitude_m, provinces)
+    ("Lake Tahoe", 497.0, 501.0, 1897.0, ["California", "Nevada"]),
+    ("Crater Lake", 53.2, 594.0, 1883.0, ["Oregon"]),
+    ("Fort Peck Lake", 981.0, 67.0, 681.0, ["Montana"]),
+    ("Lake Okeechobee", 1715.0, 3.7, 4.0, ["Florida"]),
+    ("Great Salt Lake", 4400.0, 10.0, 1280.0, ["Utah"]),
+    ("Lake Powell", 653.0, 178.0, 1128.0, ["Utah", "Arizona"]),
+    ("Lake Michigan", 58030.0, 281.0, 176.0, ["Michigan"]),
+    ("Mono Lake", 183.0, 48.0, 1945.0, ["California"]),
+    ("Pyramid Lake", 487.0, 103.0, 1157.0, ["Nevada"]),
+    ("Lake Mead", 640.0, 158.0, 372.0, ["Nevada", "Arizona"]),
+]
+
+_REAL_RIVERS = [
+    # (name, length_km, provinces)
+    ("Colorado River", 2330.0, ["Colorado", "Utah", "Arizona", "Nevada", "California"]),
+    ("Columbia River", 2000.0, ["Washington State", "Oregon"]),
+    ("Missouri River", 3767.0, ["Montana"]),
+    ("Rio Grande", 3051.0, ["Colorado", "Texas"]),
+    ("Hudson River", 507.0, ["New York"]),
+    ("Sacramento River", 719.0, ["California"]),
+]
+
+_REAL_MOUNTAINS = [
+    # (name, height_m, provinces)
+    ("Mount Whitney", 4421.0, ["California"]),
+    ("Mount Rainier", 4392.0, ["Washington State"]),
+    ("Mount Hood", 3429.0, ["Oregon"]),
+    ("Denali Peak", 6190.0, ["Montana"]),
+    ("Mount Elbert", 4401.0, ["Colorado"]),
+    ("Wheeler Peak", 3982.0, ["Nevada"]),
+]
+
+_CITY_SUFFIXES = ["ville", "burg", " City", " Falls", " Springs", "ton", " Harbor"]
+_FEATURE_SYLLABLES = [
+    "Kar", "Bel", "Tor", "Mira", "Vel", "Oro", "Lin", "San", "Gran", "Alta",
+    "Nor", "Sil", "Cal", "Mon", "Ria", "Del", "Ash", "Wind", "Stone", "Clear",
+]
+
+
+def _invent_name(rng: random.Random, suffix: str = "") -> str:
+    parts = rng.sample(_FEATURE_SYLLABLES, 2)
+    return "".join(parts).capitalize() + suffix
+
+
+def load_mondial(
+    seed: int = 7,
+    extra_provinces_per_country: int = 3,
+    extra_cities_per_province: int = 2,
+    extra_lakes: int = 60,
+    extra_rivers: int = 50,
+    extra_mountains: int = 40,
+) -> Database:
+    """Build the synthetic Mondial database.
+
+    Args:
+        seed: seed for the deterministic pseudo-random filler.
+        extra_provinces_per_country: generated provinces per non-US country.
+        extra_cities_per_province: generated cities per province.
+        extra_lakes / extra_rivers / extra_mountains: generated geographic
+            features on top of the real, hand-curated ones.
+    """
+    rng = random.Random(seed)
+    database = Database("mondial")
+
+    country = database.create_table(
+        "Country",
+        [
+            Column("Name", DataType.TEXT, primary_key=True),
+            Column("Code", DataType.TEXT),
+            Column("Capital", DataType.TEXT),
+            Column("Population", DataType.INT),
+            Column("Area", DataType.DECIMAL),
+        ],
+    )
+    province = database.create_table(
+        "Province",
+        [
+            Column("Name", DataType.TEXT, primary_key=True),
+            Column("Country", DataType.TEXT),
+            Column("Population", DataType.INT),
+            Column("Area", DataType.DECIMAL),
+            Column("Capital", DataType.TEXT, nullable=True),
+        ],
+    )
+    city = database.create_table(
+        "City",
+        [
+            Column("Name", DataType.TEXT, primary_key=True),
+            Column("Country", DataType.TEXT),
+            Column("Province", DataType.TEXT),
+            Column("Population", DataType.INT),
+            Column("Longitude", DataType.DECIMAL),
+            Column("Latitude", DataType.DECIMAL),
+        ],
+    )
+    lake = database.create_table(
+        "Lake",
+        [
+            Column("Name", DataType.TEXT, primary_key=True),
+            Column("Area", DataType.DECIMAL),
+            Column("Depth", DataType.DECIMAL),
+            Column("Altitude", DataType.DECIMAL, nullable=True),
+            Column("Type", DataType.TEXT, nullable=True),
+        ],
+    )
+    geo_lake = database.create_table(
+        "geo_lake",
+        [
+            Column("Lake", DataType.TEXT),
+            Column("Country", DataType.TEXT),
+            Column("Province", DataType.TEXT),
+        ],
+    )
+    river = database.create_table(
+        "River",
+        [
+            Column("Name", DataType.TEXT, primary_key=True),
+            Column("Length", DataType.DECIMAL),
+            Column("SourceAltitude", DataType.DECIMAL, nullable=True),
+        ],
+    )
+    geo_river = database.create_table(
+        "geo_river",
+        [
+            Column("River", DataType.TEXT),
+            Column("Country", DataType.TEXT),
+            Column("Province", DataType.TEXT),
+        ],
+    )
+    mountain = database.create_table(
+        "Mountain",
+        [
+            Column("Name", DataType.TEXT, primary_key=True),
+            Column("Height", DataType.DECIMAL),
+            Column("Type", DataType.TEXT, nullable=True),
+        ],
+    )
+    geo_mountain = database.create_table(
+        "geo_mountain",
+        [
+            Column("Mountain", DataType.TEXT),
+            Column("Country", DataType.TEXT),
+            Column("Province", DataType.TEXT),
+        ],
+    )
+
+    # ------------------------------------------------------------------
+    # Countries and provinces
+    # ------------------------------------------------------------------
+    provinces_by_country: dict[str, list[str]] = {}
+    for name, code, capital, population, area in _REAL_COUNTRIES:
+        country.insert((name, code, capital, population, float(area)))
+        provinces_by_country[name] = []
+
+    lake_types = ["natural", "reservoir", "salt", "crater"]
+    usa = "United States"
+    for name, population, area in _US_PROVINCES:
+        capital = _invent_name(rng, " City")
+        province.insert((name, usa, population, float(area), capital))
+        provinces_by_country[usa].append(name)
+
+    for country_name, __, __, population, area in _REAL_COUNTRIES:
+        if country_name == usa:
+            continue
+        for __ in range(extra_provinces_per_country):
+            province_name = _invent_name(rng) + " Province"
+            if province_name in provinces_by_country.get(country_name, []):
+                continue
+            share = rng.uniform(0.01, 0.2)
+            province.insert(
+                (
+                    province_name,
+                    country_name,
+                    int(population * share),
+                    round(float(area) * share, 1),
+                    _invent_name(rng, " City"),
+                )
+            )
+            provinces_by_country[country_name].append(province_name)
+
+    # ------------------------------------------------------------------
+    # Cities
+    # ------------------------------------------------------------------
+    for country_name, province_names in provinces_by_country.items():
+        for province_name in province_names:
+            for __ in range(extra_cities_per_province):
+                city_name = _invent_name(rng, rng.choice(_CITY_SUFFIXES))
+                city.insert(
+                    (
+                        city_name,
+                        country_name,
+                        province_name,
+                        rng.randint(20_000, 4_000_000),
+                        round(rng.uniform(-180.0, 180.0), 2),
+                        round(rng.uniform(-60.0, 70.0), 2),
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    # Lakes / rivers / mountains with their geo_* link tables
+    # ------------------------------------------------------------------
+    all_provinces = [
+        (province_name, country_name)
+        for country_name, names in provinces_by_country.items()
+        for province_name in names
+    ]
+
+    for name, area, depth, altitude, province_names in _REAL_LAKES:
+        lake.insert((name, area, depth, altitude, rng.choice(lake_types)))
+        for province_name in province_names:
+            geo_lake.insert((name, usa, province_name))
+    for __ in range(extra_lakes):
+        name = "Lake " + _invent_name(rng)
+        lake.insert(
+            (
+                name,
+                round(rng.uniform(1.0, 30_000.0), 1),
+                round(rng.uniform(2.0, 900.0), 1),
+                round(rng.uniform(0.0, 4_000.0), 1),
+                rng.choice(lake_types),
+            )
+        )
+        province_name, country_name = rng.choice(all_provinces)
+        geo_lake.insert((name, country_name, province_name))
+
+    for name, length, province_names in _REAL_RIVERS:
+        river.insert((name, length, round(rng.uniform(100.0, 3_500.0), 1)))
+        for province_name in province_names:
+            geo_river.insert((name, usa, province_name))
+    for __ in range(extra_rivers):
+        name = _invent_name(rng, " River")
+        river.insert(
+            (name, round(rng.uniform(50.0, 6_000.0), 1),
+             round(rng.uniform(100.0, 5_000.0), 1))
+        )
+        province_name, country_name = rng.choice(all_provinces)
+        geo_river.insert((name, country_name, province_name))
+
+    mountain_types = ["volcano", "granite", "fold", "dome"]
+    for name, height, province_names in _REAL_MOUNTAINS:
+        mountain.insert((name, height, rng.choice(mountain_types)))
+        for province_name in province_names:
+            geo_mountain.insert((name, usa, province_name))
+    for __ in range(extra_mountains):
+        name = "Mount " + _invent_name(rng)
+        mountain.insert(
+            (name, round(rng.uniform(500.0, 8_000.0), 1), rng.choice(mountain_types))
+        )
+        province_name, country_name = rng.choice(all_provinces)
+        geo_mountain.insert((name, country_name, province_name))
+
+    # ------------------------------------------------------------------
+    # Foreign keys (the schema graph)
+    # ------------------------------------------------------------------
+    database.link("Province.Country", "Country.Name")
+    database.link("City.Country", "Country.Name")
+    database.link("City.Province", "Province.Name")
+    database.link("geo_lake.Lake", "Lake.Name")
+    database.link("geo_lake.Country", "Country.Name")
+    database.link("geo_lake.Province", "Province.Name")
+    database.link("geo_river.River", "River.Name")
+    database.link("geo_river.Country", "Country.Name")
+    database.link("geo_river.Province", "Province.Name")
+    database.link("geo_mountain.Mountain", "Mountain.Name")
+    database.link("geo_mountain.Country", "Country.Name")
+    database.link("geo_mountain.Province", "Province.Name")
+    return database

@@ -1,0 +1,161 @@
+"""Synthetic NBA: the basketball database offered in the demo (§3).
+
+Teams, players, coaches and games with the obvious foreign keys.  A small
+hand-curated core (all 30 franchises, a handful of famous players) plus
+seeded pseudo-random rosters and schedules.
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+
+from repro.dataset.database import Database
+from repro.dataset.schema import Column
+from repro.dataset.types import DataType
+
+__all__ = ["load_nba"]
+
+_TEAMS = [
+    # (name, city, conference)
+    ("Lakers", "Los Angeles", "West"),
+    ("Warriors", "San Francisco", "West"),
+    ("Celtics", "Boston", "East"),
+    ("Bulls", "Chicago", "East"),
+    ("Heat", "Miami", "East"),
+    ("Spurs", "San Antonio", "West"),
+    ("Knicks", "New York", "East"),
+    ("Nets", "Brooklyn", "East"),
+    ("Bucks", "Milwaukee", "East"),
+    ("Suns", "Phoenix", "West"),
+    ("Mavericks", "Dallas", "West"),
+    ("Nuggets", "Denver", "West"),
+    ("Clippers", "Los Angeles", "West"),
+    ("Raptors", "Toronto", "East"),
+    ("Sixers", "Philadelphia", "East"),
+    ("Grizzlies", "Memphis", "West"),
+    ("Kings", "Sacramento", "West"),
+    ("Hawks", "Atlanta", "East"),
+    ("Cavaliers", "Cleveland", "East"),
+    ("Timberwolves", "Minneapolis", "West"),
+]
+
+_REAL_PLAYERS = [
+    # (name, team, position, height_cm, ppg)
+    ("LeBron James", "Lakers", "SF", 206, 27.1),
+    ("Stephen Curry", "Warriors", "PG", 188, 24.8),
+    ("Jayson Tatum", "Celtics", "SF", 203, 26.9),
+    ("Giannis Antetokounmpo", "Bucks", "PF", 211, 29.9),
+    ("Kevin Durant", "Suns", "SF", 208, 27.3),
+    ("Luka Doncic", "Mavericks", "PG", 201, 28.4),
+    ("Nikola Jokic", "Nuggets", "C", 211, 24.5),
+    ("Jimmy Butler", "Heat", "SF", 201, 21.4),
+    ("Joel Embiid", "Sixers", "C", 213, 30.6),
+    ("Ja Morant", "Grizzlies", "PG", 188, 26.2),
+]
+
+_FIRST = ["Marcus", "Tyrese", "Jalen", "Devin", "Andre", "Malik", "Trey",
+          "Jordan", "Cameron", "Darius", "Isaiah", "Kyle", "Grant", "Victor"]
+_LAST = ["Johnson", "Williams", "Brooks", "Carter", "Mitchell", "Porter",
+         "Thompson", "Edwards", "Murray", "Bridges", "Hayes", "Bennett"]
+_POSITIONS = ["PG", "SG", "SF", "PF", "C"]
+
+
+def load_nba(
+    seed: int = 23,
+    players_per_team: int = 10,
+    games: int = 250,
+) -> Database:
+    """Build the synthetic NBA database."""
+    rng = random.Random(seed)
+    database = Database("nba")
+
+    team = database.create_table(
+        "Team",
+        [
+            Column("Name", DataType.TEXT, primary_key=True),
+            Column("City", DataType.TEXT),
+            Column("Conference", DataType.TEXT),
+            Column("Founded", DataType.INT),
+        ],
+    )
+    player = database.create_table(
+        "Player",
+        [
+            Column("Id", DataType.INT, primary_key=True),
+            Column("Name", DataType.TEXT),
+            Column("Team", DataType.TEXT),
+            Column("Position", DataType.TEXT),
+            Column("Height", DataType.INT),
+            Column("PointsPerGame", DataType.DECIMAL),
+        ],
+    )
+    coach = database.create_table(
+        "Coach",
+        [
+            Column("Id", DataType.INT, primary_key=True),
+            Column("Name", DataType.TEXT),
+            Column("Team", DataType.TEXT),
+            Column("Wins", DataType.INT),
+            Column("Losses", DataType.INT),
+        ],
+    )
+    game = database.create_table(
+        "Game",
+        [
+            Column("Id", DataType.INT, primary_key=True),
+            Column("HomeTeam", DataType.TEXT),
+            Column("AwayTeam", DataType.TEXT),
+            Column("HomeScore", DataType.INT),
+            Column("AwayScore", DataType.INT),
+            Column("PlayedOn", DataType.DATE),
+        ],
+    )
+
+    team_names = [name for name, __, __ in _TEAMS]
+    for name, city, conference in _TEAMS:
+        team.insert((name, city, conference, rng.randint(1946, 1995)))
+
+    player_id = 1
+    for name, team_name, position, height, ppg in _REAL_PLAYERS:
+        player.insert((player_id, name, team_name, position, height, ppg))
+        player_id += 1
+    for team_name in team_names:
+        for __ in range(players_per_team):
+            name = f"{rng.choice(_FIRST)} {rng.choice(_LAST)}"
+            player.insert(
+                (
+                    player_id,
+                    name,
+                    team_name,
+                    rng.choice(_POSITIONS),
+                    rng.randint(175, 222),
+                    round(rng.uniform(2.0, 28.0), 1),
+                )
+            )
+            player_id += 1
+
+    for coach_id, team_name in enumerate(team_names, start=1):
+        name = f"{rng.choice(_FIRST)} {rng.choice(_LAST)}"
+        coach.insert((coach_id, name, team_name, rng.randint(10, 70),
+                      rng.randint(10, 70)))
+
+    season_start = datetime.date(2023, 10, 24)
+    for game_id in range(1, games + 1):
+        home, away = rng.sample(team_names, 2)
+        game.insert(
+            (
+                game_id,
+                home,
+                away,
+                rng.randint(85, 135),
+                rng.randint(85, 135),
+                season_start + datetime.timedelta(days=rng.randint(0, 170)),
+            )
+        )
+
+    database.link("Player.Team", "Team.Name")
+    database.link("Coach.Team", "Team.Name")
+    database.link("Game.HomeTeam", "Team.Name")
+    database.link("Game.AwayTeam", "Team.Name")
+    return database

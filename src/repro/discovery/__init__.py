@@ -1,0 +1,50 @@
+"""The Prism discovery pipeline: related columns → candidates → filters →
+scheduled validation → satisfying Project-Join queries."""
+
+from repro.discovery.candidates import (
+    CandidateGenerator,
+    CandidateQuery,
+    GenerationLimits,
+)
+from repro.discovery.engine import DEFAULT_TIME_LIMIT_SECONDS, Prism
+from repro.discovery.filters import Filter, FilterSet, build_filters
+from repro.discovery.related_columns import RelatedColumnFinder, RelatedColumns
+from repro.discovery.result import DiscoveryResult, DiscoveryStats
+from repro.discovery.scheduler import (
+    BayesianPolicy,
+    NaivePolicy,
+    OptimalPolicy,
+    PathLengthPolicy,
+    POLICY_NAMES,
+    SchedulingPolicy,
+    SchedulingResult,
+    ValidationDriver,
+    make_policy,
+)
+from repro.discovery.validation import FilterValidator, ValidationStats
+
+__all__ = [
+    "BayesianPolicy",
+    "CandidateGenerator",
+    "CandidateQuery",
+    "DEFAULT_TIME_LIMIT_SECONDS",
+    "DiscoveryResult",
+    "DiscoveryStats",
+    "Filter",
+    "FilterSet",
+    "FilterValidator",
+    "GenerationLimits",
+    "NaivePolicy",
+    "OptimalPolicy",
+    "PathLengthPolicy",
+    "POLICY_NAMES",
+    "Prism",
+    "RelatedColumnFinder",
+    "RelatedColumns",
+    "SchedulingPolicy",
+    "SchedulingResult",
+    "ValidationDriver",
+    "ValidationStats",
+    "build_filters",
+    "make_policy",
+]

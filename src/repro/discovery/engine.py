@@ -1,0 +1,184 @@
+"""The Prism engine: the public entry point for query discovery.
+
+Wires together preprocessing (inverted index, metadata catalog, schema
+graph, Bayesian models), the discovery pipeline (related columns →
+candidates → filters) and the filter-validation scheduler, under the
+paper's interactive time limit (60 seconds per round by default, §2.2).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.bayesian.estimator import SelectivityEstimator
+from repro.bayesian.training import BayesianModelSet, train_models
+from repro.constraints.spec import MappingSpec
+from repro.dataset.catalog import MetadataCatalog
+from repro.dataset.database import Database
+from repro.dataset.index import InvertedIndex
+from repro.dataset.schema_graph import SchemaGraph
+from repro.discovery.candidates import CandidateGenerator, GenerationLimits
+from repro.discovery.filters import build_filters
+from repro.discovery.related_columns import RelatedColumnFinder
+from repro.discovery.result import DiscoveryResult, DiscoveryStats
+from repro.discovery.scheduler import ValidationDriver, make_policy
+from repro.discovery.validation import FilterValidator
+from repro.errors import DiscoveryError, DiscoveryTimeout
+from repro.query.executor import Executor
+from repro.query.sql import to_sql
+
+__all__ = ["Prism", "DEFAULT_TIME_LIMIT_SECONDS"]
+
+DEFAULT_TIME_LIMIT_SECONDS = 60.0
+
+
+class Prism:
+    """Multiresolution schema mapping query discovery over one database."""
+
+    def __init__(
+        self,
+        database: Database,
+        scheduler: str = "bayesian",
+        time_limit: float = DEFAULT_TIME_LIMIT_SECONDS,
+        limits: Optional[GenerationLimits] = None,
+        train_bayesian: bool = True,
+    ):
+        """Preprocess ``database`` and prepare the engine.
+
+        Args:
+            database: the source database.
+            scheduler: default scheduling policy (``naive``, ``filter``,
+                ``bayesian``/``prism`` or ``optimal``).
+            time_limit: per-discovery interactive time budget in seconds.
+            limits: candidate-generation bounds.
+            train_bayesian: train the Bayesian models eagerly (required for
+                the ``bayesian`` scheduler).
+        """
+        if time_limit <= 0:
+            raise DiscoveryError("time_limit must be positive")
+        self.database = database
+        self.scheduler = scheduler
+        self.time_limit = time_limit
+        self.index = InvertedIndex.build(database)
+        self.catalog = MetadataCatalog.build(database)
+        self.schema_graph = SchemaGraph(database)
+        self.executor = Executor(database)
+        self.limits = limits or GenerationLimits()
+        self.models: Optional[BayesianModelSet] = None
+        self._estimator: Optional[SelectivityEstimator] = None
+        if train_bayesian:
+            self.models = train_models(database)
+            self._estimator = self.models.estimator()
+        self._finder = RelatedColumnFinder(database, self.index, self.catalog)
+        self._generator = CandidateGenerator(database, self.schema_graph, self.limits)
+
+    # ------------------------------------------------------------------
+    # Discovery
+    # ------------------------------------------------------------------
+    @property
+    def estimator(self) -> Optional[SelectivityEstimator]:
+        """The trained selectivity estimator (None when not trained)."""
+        return self._estimator
+
+    def discover(
+        self,
+        spec: MappingSpec,
+        scheduler: Optional[str] = None,
+        time_limit: Optional[float] = None,
+        raise_on_timeout: bool = False,
+    ) -> DiscoveryResult:
+        """Discover every schema mapping query satisfying ``spec``.
+
+        Args:
+            spec: the user's multiresolution constraints.
+            scheduler: override the engine's default scheduling policy.
+            time_limit: override the engine's time budget (seconds).
+            raise_on_timeout: raise :class:`DiscoveryTimeout` instead of
+                returning a partial, ``timed_out`` result.
+
+        Returns:
+            A :class:`DiscoveryResult` whose queries are guaranteed to match
+            every constraint in ``spec``.
+        """
+        spec.validate()
+        scheduler_name = scheduler or self.scheduler
+        budget = time_limit if time_limit is not None else self.time_limit
+        policy = make_policy(scheduler_name)
+        if policy.name == "bayesian" and self._estimator is None:
+            raise DiscoveryError(
+                "the bayesian scheduler requires trained models; construct "
+                "Prism with train_bayesian=True"
+            )
+
+        started = time.monotonic()
+        deadline = started + budget
+        stats = DiscoveryStats(scheduler_name=policy.name)
+
+        stage_start = time.monotonic()
+        related = self._finder.find(spec)
+        stats.related_column_seconds = time.monotonic() - stage_start
+        stats.num_related_columns = related.total_columns
+
+        result = DiscoveryResult(stats=stats)
+        if not related.is_satisfiable():
+            stats.elapsed_seconds = time.monotonic() - started
+            return result
+
+        stage_start = time.monotonic()
+        candidates = self._generator.generate(spec, related, deadline=deadline)
+        stats.candidate_seconds = time.monotonic() - stage_start
+        stats.num_candidates = len(candidates)
+        result.candidates = candidates
+        if not candidates:
+            stats.elapsed_seconds = time.monotonic() - started
+            stats.timed_out = time.monotonic() > deadline
+            if stats.timed_out and raise_on_timeout:
+                raise DiscoveryTimeout(
+                    "candidate generation exceeded the time limit", result
+                )
+            return result
+
+        filter_set = build_filters(spec, candidates)
+        stats.num_filters = filter_set.num_filters
+
+        stage_start = time.monotonic()
+        validator = FilterValidator(self.executor, spec)
+        driver = ValidationDriver(
+            filter_set,
+            validator,
+            policy,
+            estimator=self._estimator,
+            deadline=deadline,
+        )
+        scheduling = driver.run()
+        stats.validation_seconds = time.monotonic() - stage_start
+        stats.validations = scheduling.validations
+        stats.implied_outcomes = scheduling.implied_outcomes
+        stats.num_confirmed = scheduling.num_confirmed
+        stats.num_pruned = len(scheduling.pruned_candidate_ids)
+        stats.timed_out = scheduling.timed_out
+
+        confirmed_ids = set(scheduling.confirmed_candidate_ids)
+        confirmed = [
+            candidate for candidate in candidates if candidate.id in confirmed_ids
+        ]
+        confirmed.sort(key=lambda candidate: (candidate.join_size, to_sql(candidate.query)))
+        result.queries = [candidate.query for candidate in confirmed]
+        stats.elapsed_seconds = time.monotonic() - started
+
+        if stats.timed_out and raise_on_timeout:
+            raise DiscoveryTimeout("query discovery exceeded the time limit", result)
+        return result
+
+    # ------------------------------------------------------------------
+    # Introspection helpers used by the workbench and evaluation harness
+    # ------------------------------------------------------------------
+    def related_columns(self, spec: MappingSpec):
+        """Expose step 1 (related-column discovery) for inspection."""
+        return self._finder.find(spec)
+
+    def candidate_queries(self, spec: MappingSpec):
+        """Expose candidate enumeration (no validation) for inspection."""
+        related = self._finder.find(spec)
+        return self._generator.generate(spec, related)

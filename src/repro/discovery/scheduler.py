@@ -1,0 +1,334 @@
+"""Filter-validation scheduling (step 2, part 2).
+
+"A new important issue becomes the filter validation scheduling: in what
+order the filters are validated so that the most number of filters are
+pruned, as well as overall filter validation time is minimized" (§2.3).
+
+This module provides the shared :class:`ValidationDriver` (which validates
+filters, propagates implied outcomes through the containment DAG and
+decides candidates) plus four scheduling policies:
+
+* :class:`NaivePolicy` — validate full candidate queries one by one (the
+  strawman the paper calls "very expensive");
+* :class:`PathLengthPolicy` — the "Filter" baseline (after Shen et al.):
+  failure probability proportional to join-path length;
+* :class:`BayesianPolicy` — Prism: failure probability from the Bayesian
+  selectivity models;
+* :class:`OptimalPolicy` — an oracle that knows every filter's true outcome
+  and greedily maximises pruning; it provides the "optimum" reference the
+  paper measures the gap against.
+
+Every policy scores pending filters by ``pruning power / cost`` where
+pruning power combines the failure-probability estimate with the number of
+still-undecided candidates the filter would prune.
+"""
+
+from __future__ import annotations
+
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.bayesian.estimator import SelectivityEstimator
+from repro.constraints.spec import MappingSpec
+from repro.discovery.filters import Filter, FilterSet
+from repro.discovery.validation import FilterValidator
+from repro.errors import DiscoveryError
+
+__all__ = [
+    "SchedulingPolicy",
+    "NaivePolicy",
+    "PathLengthPolicy",
+    "BayesianPolicy",
+    "OptimalPolicy",
+    "ValidationDriver",
+    "SchedulingResult",
+    "make_policy",
+    "POLICY_NAMES",
+]
+
+
+@dataclass
+class SchedulingResult:
+    """Outcome of one validation-scheduling run."""
+
+    scheduler_name: str
+    confirmed_candidate_ids: list[int] = field(default_factory=list)
+    pruned_candidate_ids: list[int] = field(default_factory=list)
+    validations: int = 0
+    implied_outcomes: int = 0
+    elapsed_seconds: float = 0.0
+    timed_out: bool = False
+
+    @property
+    def num_confirmed(self) -> int:
+        """Number of candidates confirmed as satisfying every constraint."""
+        return len(self.confirmed_candidate_ids)
+
+
+class _DriverContext:
+    """Read-only view of the driver's state handed to policies."""
+
+    def __init__(
+        self,
+        filter_set: FilterSet,
+        spec: MappingSpec,
+        estimator: Optional[SelectivityEstimator],
+        validator: FilterValidator,
+    ):
+        self.filter_set = filter_set
+        self.spec = spec
+        self.estimator = estimator
+        self.validator = validator
+        self.undecided_candidates: set[int] = set()
+        self.top_filter_ids: set[int] = filter_set.top_filter_ids()
+        self._max_join_size = max(
+            (filter_.join_size for filter_ in filter_set.filters), default=0
+        )
+
+    def impact(self, filter_: Filter) -> int:
+        """Number of still-undecided candidates this filter could prune."""
+        return len(filter_.candidate_ids & self.undecided_candidates)
+
+    def cell_constraints(self, filter_: Filter) -> dict[int, object]:
+        """Cell constraints keyed by projection index within the filter."""
+        sample = self.spec.samples[filter_.sample_index]
+        constraints = {}
+        for projection_index, position in enumerate(filter_.positions):
+            cell = sample.cell(position)
+            if cell is not None:
+                constraints[projection_index] = cell
+        return constraints
+
+    @property
+    def max_join_size(self) -> int:
+        """Largest join size among all filters (for normalisation)."""
+        return self._max_join_size
+
+
+class SchedulingPolicy(ABC):
+    """Chooses which pending filter to validate next."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def select(self, pending: Sequence[Filter], context: _DriverContext) -> Filter:
+        """Pick one filter from ``pending`` (guaranteed non-empty)."""
+
+    def _cost(self, filter_: Filter) -> float:
+        """Crude validation-cost unit shared by the heuristic policies."""
+        return 1.0 + filter_.join_size
+
+
+class NaivePolicy(SchedulingPolicy):
+    """Validate full candidate queries directly, one at a time."""
+
+    name = "naive"
+
+    def select(self, pending: Sequence[Filter], context: _DriverContext) -> Filter:
+        tops = [f for f in pending if f.id in context.top_filter_ids]
+        pool = tops or list(pending)
+        return min(pool, key=lambda f: (f.id,))
+
+
+class PathLengthPolicy(SchedulingPolicy):
+    """The "Filter" baseline: failure probability ∝ join-path length."""
+
+    name = "filter"
+
+    def select(self, pending: Sequence[Filter], context: _DriverContext) -> Filter:
+        denominator = context.max_join_size + 2.0
+
+        def score(filter_: Filter) -> float:
+            failure_probability = (filter_.join_size + 1.0) / denominator
+            return failure_probability * context.impact(filter_) / self._cost(filter_)
+
+        return max(pending, key=lambda f: (score(f), -f.id))
+
+
+class BayesianPolicy(SchedulingPolicy):
+    """Prism: failure probability from the Bayesian selectivity models."""
+
+    name = "bayesian"
+
+    def select(self, pending: Sequence[Filter], context: _DriverContext) -> Filter:
+        if context.estimator is None:
+            raise DiscoveryError("BayesianPolicy requires a trained estimator")
+
+        def score(filter_: Filter) -> float:
+            failure_probability = context.estimator.failure_probability(
+                filter_.query, context.cell_constraints(filter_)
+            )
+            return failure_probability * context.impact(filter_) / self._cost(filter_)
+
+        return max(pending, key=lambda f: (score(f), -f.id))
+
+
+class OptimalPolicy(SchedulingPolicy):
+    """Oracle scheduler: knows each filter's true outcome in advance.
+
+    Greedy strategy: if some truly-failing filter can still prune undecided
+    candidates, validate the one pruning the most (cheapest on ties);
+    otherwise validate the top filter of an undecided candidate (which will
+    pass and confirm it).  This is the reference "optimum" of §2.4.
+    """
+
+    name = "optimal"
+
+    def select(self, pending: Sequence[Filter], context: _DriverContext) -> Filter:
+        failing = [
+            filter_
+            for filter_ in pending
+            if context.impact(filter_) > 0 and not context.validator.peek(filter_)
+        ]
+        if failing:
+            return max(
+                failing,
+                key=lambda f: (context.impact(f), -self._cost(f), -f.id),
+            )
+        tops = [
+            filter_
+            for filter_ in pending
+            if filter_.id in context.top_filter_ids and context.impact(filter_) > 0
+        ]
+        pool = tops or list(pending)
+        return min(pool, key=lambda f: (self._cost(f), f.id))
+
+
+POLICY_NAMES = ("naive", "filter", "bayesian", "optimal")
+
+
+def make_policy(name: str) -> SchedulingPolicy:
+    """Create a scheduling policy by name.
+
+    Accepted names: ``naive``, ``filter`` (alias ``path_length``),
+    ``bayesian`` (alias ``prism``), ``optimal`` (alias ``oracle``).
+    """
+    normalized = name.strip().lower()
+    policies = {
+        "naive": NaivePolicy,
+        "filter": PathLengthPolicy,
+        "path_length": PathLengthPolicy,
+        "path-length": PathLengthPolicy,
+        "bayesian": BayesianPolicy,
+        "prism": BayesianPolicy,
+        "optimal": OptimalPolicy,
+        "oracle": OptimalPolicy,
+    }
+    if normalized not in policies:
+        raise DiscoveryError(
+            f"unknown scheduler {name!r}; expected one of {sorted(set(policies))}"
+        )
+    return policies[normalized]()
+
+
+class ValidationDriver:
+    """Validates filters under a policy until every candidate is decided."""
+
+    def __init__(
+        self,
+        filter_set: FilterSet,
+        validator: FilterValidator,
+        policy: SchedulingPolicy,
+        estimator: Optional[SelectivityEstimator] = None,
+        deadline: Optional[float] = None,
+    ):
+        self._filter_set = filter_set
+        self._validator = validator
+        self._policy = policy
+        self._estimator = estimator
+        self._deadline = deadline
+
+    def run(self) -> SchedulingResult:
+        """Run validation to completion (or until the deadline)."""
+        started = time.monotonic()
+        filter_set = self._filter_set
+        spec = filter_set.spec
+        num_samples = len(spec.samples)
+
+        result = SchedulingResult(scheduler_name=self._policy.name)
+        filter_state: dict[int, Optional[bool]] = {
+            filter_.id: None for filter_ in filter_set.filters
+        }
+        candidate_state: dict[int, str] = {
+            candidate.id: "undecided" for candidate in filter_set.candidates
+        }
+
+        context = _DriverContext(filter_set, spec, self._estimator, self._validator)
+
+        if num_samples == 0:
+            # Metadata-only specs have nothing to validate: every candidate
+            # already satisfies the (column-level) constraints by construction.
+            result.confirmed_candidate_ids = sorted(candidate_state)
+            result.elapsed_seconds = time.monotonic() - started
+            return result
+
+        def undecided() -> set[int]:
+            return {
+                candidate_id
+                for candidate_id, state in candidate_state.items()
+                if state == "undecided"
+            }
+
+        def refresh_confirmations() -> None:
+            for candidate_id in list(undecided()):
+                tops = filter_set.candidate_tops.get(candidate_id, {})
+                if len(tops) < num_samples:
+                    continue
+                if all(
+                    filter_state[top_id] is True for top_id in tops.values()
+                ):
+                    candidate_state[candidate_id] = "confirmed"
+
+        while True:
+            remaining = undecided()
+            context.undecided_candidates = remaining
+            if not remaining:
+                break
+            if self._deadline is not None and time.monotonic() > self._deadline:
+                result.timed_out = True
+                break
+            pending = [
+                filter_
+                for filter_ in filter_set.filters
+                if filter_state[filter_.id] is None
+                and filter_.candidate_ids & remaining
+            ]
+            if not pending:
+                break
+            chosen = self._policy.select(pending, context)
+            outcome = self._validator.validate(chosen)
+            filter_state[chosen.id] = outcome
+            # Count scheduling decisions, not executor work: the oracle's
+            # free peeks and validator cache hits must not distort the
+            # number of validations a policy is charged for.
+            result.validations += 1
+
+            if outcome:
+                for descendant_id in filter_set.descendants(chosen.id):
+                    if filter_state[descendant_id] is None:
+                        filter_state[descendant_id] = True
+                        result.implied_outcomes += 1
+                refresh_confirmations()
+            else:
+                for ancestor_id in filter_set.ancestors(chosen.id):
+                    if filter_state[ancestor_id] is None:
+                        filter_state[ancestor_id] = False
+                        result.implied_outcomes += 1
+                for candidate_id in chosen.candidate_ids:
+                    if candidate_state.get(candidate_id) == "undecided":
+                        candidate_state[candidate_id] = "pruned"
+
+        result.confirmed_candidate_ids = sorted(
+            candidate_id
+            for candidate_id, state in candidate_state.items()
+            if state == "confirmed"
+        )
+        result.pruned_candidate_ids = sorted(
+            candidate_id
+            for candidate_id, state in candidate_state.items()
+            if state == "pruned"
+        )
+        result.elapsed_seconds = time.monotonic() - started
+        return result

@@ -1,0 +1,92 @@
+"""Filter validation against the source database.
+
+A filter passes when the result of its sub-PJ-query contains at least one
+row satisfying the sample constraint's cells at the filter's positions.
+The validator builds cell predicates from the constraints, pushes them into
+the executor (which applies them before joining and stops at the first
+match) and caches outcomes so a filter is never executed twice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.constraints.spec import MappingSpec
+from repro.discovery.filters import Filter
+from repro.query.executor import Executor
+
+__all__ = ["FilterValidator", "ValidationStats"]
+
+
+@dataclass
+class ValidationStats:
+    """Counters kept by a :class:`FilterValidator`."""
+
+    validations: int = 0
+    cache_hits: int = 0
+    passed: int = 0
+    failed: int = 0
+
+    def record(self, outcome: bool) -> None:
+        """Record one (uncached) validation outcome."""
+        self.validations += 1
+        if outcome:
+            self.passed += 1
+        else:
+            self.failed += 1
+
+
+class FilterValidator:
+    """Executes filters and caches their pass/fail outcomes."""
+
+    def __init__(self, executor: Executor, spec: MappingSpec):
+        self._executor = executor
+        self._spec = spec
+        self._cache: dict[tuple, bool] = {}
+        self.stats = ValidationStats()
+
+    def _cache_key(self, filter_: Filter) -> tuple:
+        return (
+            filter_.sample_index,
+            filter_.positions,
+            filter_.query.signature(),
+        )
+
+    def _predicates(self, filter_: Filter) -> dict[int, callable]:
+        sample = self._spec.samples[filter_.sample_index]
+        predicates: dict[int, callable] = {}
+        for projection_index, position in enumerate(filter_.positions):
+            constraint = sample.cell(position)
+            if constraint is not None:
+                predicates[projection_index] = constraint.matches
+        return predicates
+
+    def validate(self, filter_: Filter) -> bool:
+        """Validate ``filter_`` (counted; cached)."""
+        key = self._cache_key(filter_)
+        if key in self._cache:
+            self.stats.cache_hits += 1
+            return self._cache[key]
+        outcome = self._execute(filter_)
+        self._cache[key] = outcome
+        self.stats.record(outcome)
+        return outcome
+
+    def peek(self, filter_: Filter) -> bool:
+        """Validate without counting (used by the optimal oracle)."""
+        key = self._cache_key(filter_)
+        if key in self._cache:
+            return self._cache[key]
+        outcome = self._execute(filter_)
+        self._cache[key] = outcome
+        return outcome
+
+    def _execute(self, filter_: Filter) -> bool:
+        predicates = self._predicates(filter_)
+        return self._executor.exists(filter_.query, cell_predicates=predicates)
+
+    @property
+    def validations_performed(self) -> int:
+        """Number of counted (non-cached) validations performed so far."""
+        return self.stats.validations

@@ -1,0 +1,66 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch a single base class.  More specific subclasses exist for
+the major subsystems (dataset engine, constraint language, discovery
+pipeline) so that tests and applications can make fine-grained decisions.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A table, column or foreign key definition is invalid or unknown."""
+
+
+class DataError(ReproError):
+    """A row or value does not conform to its declared column type."""
+
+
+class QueryError(ReproError):
+    """A Project-Join query is malformed or references unknown objects."""
+
+
+class ConstraintError(ReproError):
+    """A multiresolution constraint is malformed."""
+
+
+class ConstraintParseError(ConstraintError):
+    """The textual constraint syntax could not be parsed."""
+
+
+class SpecError(ReproError):
+    """A mapping specification is inconsistent (wrong arity, bad indices)."""
+
+
+class DiscoveryError(ReproError):
+    """The discovery engine was configured or invoked incorrectly."""
+
+
+class DiscoveryTimeout(DiscoveryError):
+    """Raised when query discovery exceeds its time budget.
+
+    Mirrors the paper's behaviour of reporting a failure when the 60 second
+    interactive time limit is exceeded.  The partially discovered results are
+    attached so callers may still inspect them.
+    """
+
+    def __init__(self, message: str, partial_result=None):
+        super().__init__(message)
+        self.partial_result = partial_result
+
+
+class TrainingError(ReproError):
+    """A Bayesian model could not be trained from the supplied database."""
+
+
+class WorkloadError(ReproError):
+    """A synthetic workload case could not be generated."""
+
+
+class SessionError(ReproError):
+    """The workbench session was driven through an invalid state transition."""

@@ -1,0 +1,38 @@
+"""Evaluation harness: metrics, experiment runners and text reporting."""
+
+from repro.evaluation.experiments import (
+    aggregate_resolution_sweep,
+    aggregate_scheduler_comparison,
+    build_cases,
+    run_baseline_comparison,
+    run_metadata_ablation,
+    run_resolution_sweep,
+    run_scalability_sweep,
+    run_scheduler_comparison,
+)
+from repro.evaluation.metrics import (
+    gap_reduction,
+    gap_to_optimal,
+    mean,
+    median,
+    summarize,
+)
+from repro.evaluation.reporting import format_table, format_value
+
+__all__ = [
+    "aggregate_resolution_sweep",
+    "aggregate_scheduler_comparison",
+    "build_cases",
+    "format_table",
+    "format_value",
+    "gap_reduction",
+    "gap_to_optimal",
+    "mean",
+    "median",
+    "run_baseline_comparison",
+    "run_metadata_ablation",
+    "run_resolution_sweep",
+    "run_scalability_sweep",
+    "run_scheduler_comparison",
+    "summarize",
+]

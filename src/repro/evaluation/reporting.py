@@ -1,0 +1,59 @@
+"""Plain-text tables for experiment results.
+
+The benchmark harness prints the same rows/series the paper reports; this
+module renders lists of dictionaries as aligned fixed-width tables so the
+output is readable both in a terminal and in CI logs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+__all__ = ["format_table", "format_value"]
+
+
+def format_value(value: Any) -> str:
+    """Render one cell: floats get 3 significant decimals, None a dash."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[dict],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render ``rows`` (list of dicts) as an aligned text table.
+
+    Args:
+        rows: the data rows.
+        columns: column order; defaults to the keys of the first row.
+        title: optional heading printed above the table.
+    """
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+    rendered_rows = [
+        [format_value(row.get(column)) for column in columns] for row in rows
+    ]
+    widths = [
+        max(len(str(column)), *(len(rendered[i]) for rendered in rendered_rows))
+        for i, column in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(str(column).ljust(widths[i]) for i, column in enumerate(columns))
+    lines.append(header)
+    lines.append("  ".join("-" * width for width in widths))
+    for rendered in rendered_rows:
+        lines.append(
+            "  ".join(rendered[i].ljust(widths[i]) for i in range(len(columns)))
+        )
+    return "\n".join(lines)

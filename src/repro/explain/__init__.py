@@ -1,0 +1,20 @@
+"""Query explanation: graphs and renderers for discovered mappings."""
+
+from repro.explain.graph import (
+    NODE_ATTRIBUTE,
+    NODE_CONSTRAINT,
+    NODE_RELATION,
+    QueryGraph,
+)
+from repro.explain.render import to_ascii, to_dict, to_dot, to_json
+
+__all__ = [
+    "NODE_ATTRIBUTE",
+    "NODE_CONSTRAINT",
+    "NODE_RELATION",
+    "QueryGraph",
+    "to_ascii",
+    "to_dict",
+    "to_dot",
+    "to_json",
+]

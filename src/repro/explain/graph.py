@@ -1,0 +1,176 @@
+"""Query graphs: the paper's visual explanation of a schema mapping query.
+
+"Orange squares represent relations, green ellipses are the attributes to
+project, and edges represent join conditions.  ...  the user could pick one
+or more constraints, and Prism draws these constraints (as blue boxes) in
+the previous graph to show the locations in the database where these
+constraints are satisfied." (§2.3, Figure 4c)
+
+:class:`QueryGraph` builds that structure as a networkx graph with typed
+nodes (``relation``, ``attribute``, ``constraint``) so it can be rendered
+as DOT, ASCII or a plain dictionary by :mod:`repro.explain.render`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import networkx as nx
+
+from repro.constraints.spec import MappingSpec
+from repro.query.pj_query import ProjectJoinQuery
+
+__all__ = ["QueryGraph", "NODE_RELATION", "NODE_ATTRIBUTE", "NODE_CONSTRAINT"]
+
+NODE_RELATION = "relation"
+NODE_ATTRIBUTE = "attribute"
+NODE_CONSTRAINT = "constraint"
+
+EDGE_JOIN = "join"
+EDGE_PROJECTION = "projection"
+EDGE_SATISFIES = "satisfies"
+
+
+class QueryGraph:
+    """A typed graph describing one schema mapping query."""
+
+    def __init__(self, graph: nx.Graph, query: ProjectJoinQuery):
+        self.graph = graph
+        self.query = query
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_query(
+        cls,
+        query: ProjectJoinQuery,
+        spec: Optional[MappingSpec] = None,
+        constraint_positions: Optional[Sequence[int]] = None,
+    ) -> "QueryGraph":
+        """Build the explanation graph for ``query``.
+
+        Args:
+            query: the schema mapping query to explain.
+            spec: when given, the user's constraints are attached to the
+                attributes where they are satisfied.
+            constraint_positions: restrict the drawn constraints to these
+                target positions (the demo lets the user pick which
+                constraints to overlay); ``None`` draws them all.
+        """
+        graph = nx.Graph()
+        for table in sorted(query.tables):
+            graph.add_node(
+                f"rel:{table}",
+                kind=NODE_RELATION,
+                label=table,
+                shape="box",
+                color="orange",
+            )
+        for position, ref in enumerate(query.projections):
+            attribute_id = f"attr:{position}:{ref.table}.{ref.column}"
+            graph.add_node(
+                attribute_id,
+                kind=NODE_ATTRIBUTE,
+                label=f"{ref.column}",
+                table=ref.table,
+                position=position,
+                shape="ellipse",
+                color="green",
+            )
+            graph.add_edge(attribute_id, f"rel:{ref.table}", kind=EDGE_PROJECTION)
+        for edge in query.joins:
+            graph.add_edge(
+                f"rel:{edge.child_table}",
+                f"rel:{edge.parent_table}",
+                kind=EDGE_JOIN,
+                label=(
+                    f"{edge.child_table}.{edge.child_column} = "
+                    f"{edge.parent_table}.{edge.parent_column}"
+                ),
+            )
+        instance = cls(graph, query)
+        if spec is not None:
+            instance._attach_constraints(spec, constraint_positions)
+        return instance
+
+    def _attach_constraints(
+        self, spec: MappingSpec, positions: Optional[Sequence[int]]
+    ) -> None:
+        wanted = set(range(spec.num_columns)) if positions is None else set(positions)
+        counter = 0
+        for sample_index, sample in enumerate(spec.samples):
+            for position in sample.constrained_positions():
+                if position not in wanted or position >= self.query.width:
+                    continue
+                constraint = sample.cell(position)
+                ref = self.query.projections[position]
+                node_id = f"constraint:sample{sample_index}:{position}:{counter}"
+                counter += 1
+                self.graph.add_node(
+                    node_id,
+                    kind=NODE_CONSTRAINT,
+                    label=constraint.describe(),
+                    source=f"sample {sample_index + 1}",
+                    position=position,
+                    shape="box",
+                    color="blue",
+                )
+                self.graph.add_edge(
+                    node_id,
+                    f"attr:{position}:{ref.table}.{ref.column}",
+                    kind=EDGE_SATISFIES,
+                )
+        for position, constraint in spec.metadata.items():
+            if position not in wanted or position >= self.query.width:
+                continue
+            ref = self.query.projections[position]
+            node_id = f"constraint:metadata:{position}"
+            self.graph.add_node(
+                node_id,
+                kind=NODE_CONSTRAINT,
+                label=constraint.describe(),
+                source="metadata",
+                position=position,
+                shape="box",
+                color="blue",
+            )
+            self.graph.add_edge(
+                node_id,
+                f"attr:{position}:{ref.table}.{ref.column}",
+                kind=EDGE_SATISFIES,
+            )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def nodes_of_kind(self, kind: str) -> list[str]:
+        """Node ids of the requested kind."""
+        return [
+            node
+            for node, data in self.graph.nodes(data=True)
+            if data.get("kind") == kind
+        ]
+
+    @property
+    def relation_nodes(self) -> list[str]:
+        """Relation (orange square) nodes."""
+        return self.nodes_of_kind(NODE_RELATION)
+
+    @property
+    def attribute_nodes(self) -> list[str]:
+        """Projected attribute (green ellipse) nodes."""
+        return self.nodes_of_kind(NODE_ATTRIBUTE)
+
+    @property
+    def constraint_nodes(self) -> list[str]:
+        """Constraint (blue box) nodes."""
+        return self.nodes_of_kind(NODE_CONSTRAINT)
+
+    def join_edges(self) -> list[tuple[str, str]]:
+        """Edges representing join conditions between relations."""
+        return [
+            (left, right)
+            for left, right, data in self.graph.edges(data=True)
+            if data.get("kind") == EDGE_JOIN
+        ]

@@ -1,0 +1,119 @@
+"""Renderers for query-explanation graphs.
+
+The demo draws the graph in a browser canvas; here we provide equivalent
+artefacts that work in a terminal and in downstream tooling:
+
+* :func:`to_dot` — Graphviz DOT text (orange boxes for relations, green
+  ellipses for attributes, blue boxes for constraints, exactly as the
+  paper describes Figure 4c);
+* :func:`to_ascii` — a plain-text rendering for CLIs and logs;
+* :func:`to_dict` — a JSON-serialisable structure for web frontends.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.explain.graph import (
+    NODE_ATTRIBUTE,
+    NODE_CONSTRAINT,
+    NODE_RELATION,
+    QueryGraph,
+)
+from repro.query.sql import to_sql
+
+__all__ = ["to_dot", "to_ascii", "to_dict", "to_json"]
+
+_DOT_STYLES = {
+    NODE_RELATION: 'shape=box, style=filled, fillcolor="orange"',
+    NODE_ATTRIBUTE: 'shape=ellipse, style=filled, fillcolor="palegreen"',
+    NODE_CONSTRAINT: 'shape=box, style="filled,dashed", fillcolor="lightblue"',
+}
+
+
+def _dot_escape(text: str) -> str:
+    return text.replace('"', '\\"')
+
+
+def to_dot(query_graph: QueryGraph, name: str = "schema_mapping") -> str:
+    """Render the explanation graph as Graphviz DOT text."""
+    lines = [f"graph {name} {{", "  rankdir=LR;"]
+    for node, data in query_graph.graph.nodes(data=True):
+        style = _DOT_STYLES.get(data.get("kind"), "shape=box")
+        label = _dot_escape(str(data.get("label", node)))
+        lines.append(f'  "{_dot_escape(node)}" [label="{label}", {style}];')
+    for left, right, data in query_graph.graph.edges(data=True):
+        attributes = ""
+        if data.get("label"):
+            attributes = f' [label="{_dot_escape(str(data["label"]))}"]'
+        lines.append(
+            f'  "{_dot_escape(left)}" -- "{_dot_escape(right)}"{attributes};'
+        )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def to_ascii(query_graph: QueryGraph) -> str:
+    """Render the explanation graph as indented plain text."""
+    graph = query_graph.graph
+    lines = [f"query: {to_sql(query_graph.query)}", "relations:"]
+    for node in sorted(query_graph.relation_nodes):
+        data = graph.nodes[node]
+        lines.append(f"  [{data['label']}]")
+        for neighbor in sorted(graph.neighbors(node)):
+            neighbor_data = graph.nodes[neighbor]
+            if neighbor_data.get("kind") == NODE_ATTRIBUTE:
+                lines.append(f"    project -> ({neighbor_data['label']})")
+    join_edges = query_graph.join_edges()
+    if join_edges:
+        lines.append("joins:")
+        for left, right in sorted(join_edges):
+            label = graph.edges[left, right].get("label", "")
+            lines.append(f"  {graph.nodes[left]['label']} == {graph.nodes[right]['label']}"
+                         f"  ({label})")
+    constraints = query_graph.constraint_nodes
+    if constraints:
+        lines.append("constraints:")
+        for node in sorted(constraints):
+            data = graph.nodes[node]
+            targets = [
+                graph.nodes[neighbor]["label"]
+                for neighbor in graph.neighbors(node)
+            ]
+            lines.append(
+                f"  <{data['label']}> ({data.get('source', 'constraint')}) "
+                f"satisfied at {', '.join(sorted(targets))}"
+            )
+    return "\n".join(lines)
+
+
+def to_dict(query_graph: QueryGraph) -> dict:
+    """Render the explanation graph as a JSON-serialisable dictionary."""
+    graph = query_graph.graph
+    return {
+        "sql": to_sql(query_graph.query),
+        "nodes": [
+            {
+                "id": node,
+                "kind": data.get("kind"),
+                "label": data.get("label"),
+                "color": data.get("color"),
+                "shape": data.get("shape"),
+            }
+            for node, data in graph.nodes(data=True)
+        ],
+        "edges": [
+            {
+                "source": left,
+                "target": right,
+                "kind": data.get("kind"),
+                "label": data.get("label"),
+            }
+            for left, right, data in graph.edges(data=True)
+        ],
+    }
+
+
+def to_json(query_graph: QueryGraph, indent: int = 2) -> str:
+    """Render the explanation graph as a JSON string."""
+    return json.dumps(to_dict(query_graph), indent=indent)

@@ -1,0 +1,7 @@
+"""Project-Join query model, SQL rendering and hash-join execution."""
+
+from repro.query.executor import ExecutionStats, Executor
+from repro.query.pj_query import ProjectJoinQuery
+from repro.query.sql import to_sql
+
+__all__ = ["ExecutionStats", "Executor", "ProjectJoinQuery", "to_sql"]

@@ -1,0 +1,281 @@
+"""Hash-join execution of Project-Join queries.
+
+The executor evaluates PJ queries against an in-memory :class:`Database`.
+It supports two features the discovery pipeline relies on heavily:
+
+* **predicate pushdown** — per-projection cell predicates (derived from the
+  user's value constraints) are applied to base-table rows *before* joining,
+  which is both realistic (a DBMS would use its indexes the same way) and
+  essential for fast filter validation;
+* **early termination** — an optional ``limit`` stops execution as soon as
+  enough result rows have been produced, so existence checks cost close to
+  nothing when a match is found early.
+
+Inner-join semantics follow SQL: NULL join keys never match.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Optional, Sequence
+
+from repro.dataset.database import Database
+from repro.dataset.schema import ForeignKey
+from repro.errors import QueryError
+from repro.query.pj_query import ProjectJoinQuery
+
+__all__ = ["Executor", "ExecutionStats"]
+
+CellPredicate = Callable[[Any], bool]
+
+
+@dataclass
+class ExecutionStats:
+    """Counters accumulated by an :class:`Executor` across calls."""
+
+    queries_executed: int = 0
+    rows_scanned: int = 0
+    rows_emitted: int = 0
+    joins_performed: int = 0
+
+    def merge(self, other: "ExecutionStats") -> None:
+        """Accumulate another stats object into this one."""
+        self.queries_executed += other.queries_executed
+        self.rows_scanned += other.rows_scanned
+        self.rows_emitted += other.rows_emitted
+        self.joins_performed += other.joins_performed
+
+
+class Executor:
+    """Evaluates Project-Join queries with hash joins."""
+
+    def __init__(self, database: Database):
+        self._database = database
+        self.stats = ExecutionStats()
+
+    @property
+    def database(self) -> Database:
+        """The database this executor evaluates queries against."""
+        return self._database
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        query: ProjectJoinQuery,
+        cell_predicates: Optional[Mapping[int, CellPredicate]] = None,
+        limit: Optional[int] = None,
+    ) -> list[tuple[Any, ...]]:
+        """Execute ``query`` and return its projected result rows.
+
+        Args:
+            query: the PJ query to execute.
+            cell_predicates: optional mapping from projection position to a
+                predicate the projected cell must satisfy; rows failing any
+                predicate are excluded (and pruned before joining).
+            limit: stop after this many result rows (None = no limit).
+        """
+        query.validate(self._database)
+        self.stats.queries_executed += 1
+        predicates = dict(cell_predicates or {})
+        for position in predicates:
+            if position < 0 or position >= query.width:
+                raise QueryError(
+                    f"cell predicate position {position} out of range "
+                    f"for a query of width {query.width}"
+                )
+
+        per_table_rows = self._filtered_base_rows(query, predicates)
+        if per_table_rows is None:
+            return []
+
+        join_order = self._join_order(query)
+        partials = self._join(query, per_table_rows, join_order)
+
+        results: list[tuple[Any, ...]] = []
+        for assignment in partials:
+            row = tuple(
+                assignment[ref.table][
+                    self._database.table(ref.table).column_position(ref.column)
+                ]
+                for ref in query.projections
+            )
+            results.append(row)
+            self.stats.rows_emitted += 1
+            if limit is not None and len(results) >= limit:
+                break
+        return results
+
+    def exists(
+        self,
+        query: ProjectJoinQuery,
+        cell_predicates: Optional[Mapping[int, CellPredicate]] = None,
+    ) -> bool:
+        """Whether at least one result row satisfies all cell predicates."""
+        return bool(self.execute(query, cell_predicates=cell_predicates, limit=1))
+
+    def count(self, query: ProjectJoinQuery) -> int:
+        """Number of result rows of ``query``."""
+        return len(self.execute(query))
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _filtered_base_rows(
+        self,
+        query: ProjectJoinQuery,
+        predicates: Mapping[int, CellPredicate],
+    ) -> Optional[dict[str, list[tuple[Any, ...]]]]:
+        """Base rows per table after predicate pushdown.
+
+        Returns ``None`` when some table's filtered row set is empty, which
+        means the overall (inner-join) result is necessarily empty.
+        """
+        # Group predicates by (table, column position in base table).
+        per_table_predicates: dict[str, list[tuple[int, CellPredicate]]] = defaultdict(list)
+        for position, predicate in predicates.items():
+            ref = query.projections[position]
+            column_position = self._database.table(ref.table).column_position(ref.column)
+            per_table_predicates[ref.table].append((column_position, predicate))
+
+        per_table_rows: dict[str, list[tuple[Any, ...]]] = {}
+        for table_name in query.tables:
+            table = self._database.table(table_name)
+            rows = table.rows
+            self.stats.rows_scanned += len(rows)
+            checks = per_table_predicates.get(table_name)
+            if checks:
+                rows = [
+                    row
+                    for row in rows
+                    if all(
+                        row[column_position] is not None
+                        and predicate(row[column_position])
+                        for column_position, predicate in checks
+                    )
+                ]
+            if not rows:
+                return None
+            per_table_rows[table_name] = rows
+        return per_table_rows
+
+    def _join_order(self, query: ProjectJoinQuery) -> list[ForeignKey]:
+        """Order join edges so each edge touches an already-joined table."""
+        if not query.joins:
+            return []
+        remaining = list(query.joins)
+        ordered: list[ForeignKey] = []
+        joined_tables = {query.projections[0].table}
+        # The projection table might not be an endpoint of the first edge in
+        # pathological orders; seed from any edge if necessary.
+        if not any(table in joined_tables for edge in remaining for table in edge.tables()):
+            joined_tables = {remaining[0].tables()[0]}
+        while remaining:
+            progressed = False
+            for edge in list(remaining):
+                left, right = edge.tables()
+                if left in joined_tables or right in joined_tables:
+                    ordered.append(edge)
+                    joined_tables.update((left, right))
+                    remaining.remove(edge)
+                    progressed = True
+            if not progressed:
+                raise QueryError("join edges do not form a connected tree")
+        return ordered
+
+    def _join(
+        self,
+        query: ProjectJoinQuery,
+        per_table_rows: dict[str, list[tuple[Any, ...]]],
+        join_order: Sequence[ForeignKey],
+    ) -> list[dict[str, tuple[Any, ...]]]:
+        """Perform the hash joins, returning per-table row assignments."""
+        if not join_order:
+            only_table = next(iter(query.tables))
+            return [{only_table: row} for row in per_table_rows[only_table]]
+
+        first_left, first_right = join_order[0].tables()
+        start_table = first_left
+        partials: list[dict[str, tuple[Any, ...]]] = [
+            {start_table: row} for row in per_table_rows[start_table]
+        ]
+        joined_tables = {start_table}
+
+        for edge in join_order:
+            left, right = edge.tables()
+            if left in joined_tables and right in joined_tables:
+                # Both sides already joined (cannot happen for trees, but be
+                # defensive): apply the condition as a post-filter.
+                partials = [
+                    assignment
+                    for assignment in partials
+                    if self._edge_matches(assignment, edge)
+                ]
+                continue
+            if left in joined_tables:
+                existing_table, new_table = left, right
+            else:
+                existing_table, new_table = right, left
+                if right not in joined_tables:
+                    # Neither endpoint joined yet — cannot happen when
+                    # _join_order succeeded; guard anyway.
+                    raise QueryError("disconnected join order")
+
+            existing_column, new_column = self._edge_columns(
+                edge, existing_table, new_table
+            )
+            new_table_obj = self._database.table(new_table)
+            new_position = new_table_obj.column_position(new_column)
+            hash_table: dict[Any, list[tuple[Any, ...]]] = defaultdict(list)
+            for row in per_table_rows[new_table]:
+                key = row[new_position]
+                if key is None:
+                    continue
+                hash_table[key].append(row)
+
+            existing_position = self._database.table(existing_table).column_position(
+                existing_column
+            )
+            next_partials: list[dict[str, tuple[Any, ...]]] = []
+            for assignment in partials:
+                key = assignment[existing_table][existing_position]
+                if key is None:
+                    continue
+                for row in hash_table.get(key, ()):
+                    extended = dict(assignment)
+                    extended[new_table] = row
+                    next_partials.append(extended)
+            partials = next_partials
+            joined_tables.add(new_table)
+            self.stats.joins_performed += 1
+            if not partials:
+                return []
+        return partials
+
+    def _edge_columns(
+        self, edge: ForeignKey, existing_table: str, new_table: str
+    ) -> tuple[str, str]:
+        if edge.child_table == existing_table and edge.parent_table == new_table:
+            return edge.child_column, edge.parent_column
+        if edge.parent_table == existing_table and edge.child_table == new_table:
+            return edge.parent_column, edge.child_column
+        raise QueryError(
+            f"join edge {edge} does not connect {existing_table} and {new_table}"
+        )
+
+    def _edge_matches(
+        self, assignment: dict[str, tuple[Any, ...]], edge: ForeignKey
+    ) -> bool:
+        child_row = assignment[edge.child_table]
+        parent_row = assignment[edge.parent_table]
+        child_value = child_row[
+            self._database.table(edge.child_table).column_position(edge.child_column)
+        ]
+        parent_value = parent_row[
+            self._database.table(edge.parent_table).column_position(edge.parent_column)
+        ]
+        if child_value is None or parent_value is None:
+            return False
+        return child_value == parent_value

@@ -1,0 +1,50 @@
+"""SQL rendering for Project-Join queries.
+
+The Result section of the demo shows the synthesized queries as SQL text
+(Figure 4b).  Join trees never repeat a table, so no aliases are required
+and the classic ``SELECT ... FROM ... WHERE`` comma-join form used in the
+paper's example is emitted.
+"""
+
+from __future__ import annotations
+
+from repro.query.pj_query import ProjectJoinQuery
+
+__all__ = ["to_sql"]
+
+
+def _quote_identifier(name: str) -> str:
+    """Quote an identifier only when it would otherwise be ambiguous."""
+    if name.isidentifier():
+        return name
+    escaped = name.replace('"', '""')
+    return f'"{escaped}"'
+
+
+def to_sql(query: ProjectJoinQuery, pretty: bool = False) -> str:
+    """Render ``query`` as a SQL string.
+
+    Args:
+        query: the Project-Join query to render.
+        pretty: when ``True``, place each clause on its own line.
+    """
+    select_list = ", ".join(
+        f"{_quote_identifier(ref.table)}.{_quote_identifier(ref.column)}"
+        for ref in query.projections
+    )
+    tables = sorted(query.tables)
+    from_list = ", ".join(_quote_identifier(table) for table in tables)
+    conditions = [
+        (
+            f"{_quote_identifier(edge.child_table)}."
+            f"{_quote_identifier(edge.child_column)} = "
+            f"{_quote_identifier(edge.parent_table)}."
+            f"{_quote_identifier(edge.parent_column)}"
+        )
+        for edge in query.joins
+    ]
+    separator = "\n" if pretty else " "
+    parts = [f"SELECT {select_list}", f"FROM {from_list}"]
+    if conditions:
+        parts.append("WHERE " + " AND ".join(conditions))
+    return separator.join(parts)

@@ -1,0 +1,5 @@
+"""Workbench: the demo's Configuration → Description → Result workflow."""
+
+from repro.workbench.session import PrismSession, SessionStage
+
+__all__ = ["PrismSession", "SessionStage"]

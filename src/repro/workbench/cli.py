@@ -1,0 +1,200 @@
+"""Command line interface for the Prism workbench.
+
+Subcommands mirror what a demo attendee would do in the web UI:
+
+* ``prism databases`` — list the bundled source databases;
+* ``prism schema <database>`` — show tables, columns and row counts;
+* ``prism search ...`` — run one round of multiresolution discovery;
+* ``prism demo`` — replay the §3 Lake Tahoe walk-through end to end.
+
+Sample rows are given with ``--sample`` (repeatable, one per row) using
+``;`` between cells, e.g. ``--sample "California || Nevada;Lake Tahoe;"``.
+Metadata constraints use ``--metadata COLUMN:TEXT``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.datasets import available_databases, load_database_by_name
+from repro.discovery.engine import DEFAULT_TIME_LIMIT_SECONDS
+from repro.workbench.session import PrismSession
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="prism",
+        description="Multiresolution schema mapping (Prism, CIDR 2019 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("databases", help="list the bundled source databases")
+
+    schema_parser = subparsers.add_parser(
+        "schema", help="show the schema of a bundled database"
+    )
+    schema_parser.add_argument("database", choices=available_databases())
+
+    search_parser = subparsers.add_parser(
+        "search", help="run one round of schema mapping discovery"
+    )
+    search_parser.add_argument("--database", required=True,
+                               choices=available_databases())
+    search_parser.add_argument("--columns", type=int, required=True,
+                               help="number of columns in the target schema")
+    search_parser.add_argument(
+        "--sample",
+        action="append",
+        default=[],
+        help="one sample row; cells separated by ';' (repeatable)",
+    )
+    search_parser.add_argument(
+        "--metadata",
+        action="append",
+        default=[],
+        help="metadata constraint as COLUMN:TEXT (repeatable)",
+    )
+    search_parser.add_argument("--scheduler", default="bayesian",
+                               choices=["naive", "filter", "bayesian", "optimal"])
+    search_parser.add_argument("--time-limit", type=float,
+                               default=DEFAULT_TIME_LIMIT_SECONDS)
+    search_parser.add_argument("--max-queries", type=int, default=10,
+                               help="maximum number of queries to print")
+    search_parser.add_argument("--explain", type=int, default=None,
+                               help="print the explanation graph of query #N (1-based)")
+
+    demo_parser = subparsers.add_parser(
+        "demo", help="replay the paper's Lake Tahoe walk-through"
+    )
+    demo_parser.add_argument("--scheduler", default="bayesian",
+                             choices=["naive", "filter", "bayesian", "optimal"])
+    return parser
+
+
+def _command_databases() -> int:
+    for name in available_databases():
+        print(name)
+    return 0
+
+
+def _command_schema(database_name: str) -> int:
+    database = load_database_by_name(database_name)
+    print(f"database: {database.name} ({database.total_rows} rows)")
+    for table in database:
+        column_list = ", ".join(
+            f"{column.name}:{column.data_type.value}" for column in table.columns
+        )
+        print(f"  {table.name} ({table.num_rows} rows): {column_list}")
+    if database.foreign_keys:
+        print("foreign keys:")
+        for foreign_key in database.foreign_keys:
+            print(f"  {foreign_key}")
+    return 0
+
+
+def _command_search(args: argparse.Namespace) -> int:
+    session = PrismSession()
+    num_samples = len(args.sample)
+    session.configure(
+        database=args.database,
+        num_columns=args.columns,
+        num_samples=num_samples,
+        use_metadata=True,
+        scheduler=args.scheduler,
+        time_limit=args.time_limit,
+    )
+    for row, sample_text in enumerate(args.sample):
+        cells = sample_text.split(";")
+        if len(cells) > args.columns:
+            print(
+                f"error: sample {row + 1} has {len(cells)} cells but the target "
+                f"schema has {args.columns} columns",
+                file=sys.stderr,
+            )
+            return 2
+        for column, cell_text in enumerate(cells):
+            session.set_sample_cell(row, column, cell_text)
+    for metadata_text in args.metadata:
+        column_text, __, constraint_text = metadata_text.partition(":")
+        try:
+            column = int(column_text)
+        except ValueError:
+            print(
+                f"error: --metadata expects COLUMN:TEXT, got {metadata_text!r}",
+                file=sys.stderr,
+            )
+            return 2
+        session.set_metadata_constraint(column, constraint_text)
+
+    result = session.search()
+    stats = result.stats
+    print(
+        f"{result.num_queries} satisfying queries "
+        f"({stats.num_candidates} candidates, {stats.num_filters} filters, "
+        f"{stats.validations} validations, {stats.elapsed_seconds:.2f}s, "
+        f"scheduler={stats.scheduler_name})"
+    )
+    if result.timed_out:
+        print("warning: discovery hit the time limit; results may be partial")
+    for index, sql in enumerate(result.sql()[: args.max_queries], start=1):
+        print(f"  [{index}] {sql}")
+    if result.num_queries > args.max_queries:
+        print(f"  ... and {result.num_queries - args.max_queries} more")
+    if args.explain is not None and result.num_queries:
+        index = min(max(args.explain, 1), result.num_queries) - 1
+        session.select_query(index)
+        print()
+        print(session.explain(fmt="ascii"))
+    return 0
+
+
+def _command_demo(scheduler: str) -> int:
+    """The §3 walk-through: Lake Tahoe on Mondial."""
+    session = PrismSession()
+    print("1. Configuration: Mondial, 3 target columns, 1 sample, metadata on")
+    session.configure("mondial", num_columns=3, num_samples=1,
+                      use_metadata=True, scheduler=scheduler)
+    print("2. Description:")
+    print("   2.1 sample cell 1 <- 'California || Nevada'")
+    session.set_sample_cell(0, 0, "California || Nevada")
+    print("   2.2 sample cell 2 <- 'Lake Tahoe'")
+    session.set_sample_cell(0, 1, "Lake Tahoe")
+    print("   2.3 metadata cell 3 <- \"DataType=='decimal' AND MinValue>=0\"")
+    session.set_metadata_constraint(2, "DataType=='decimal' AND MinValue>=0")
+    print("3. Start Searching!")
+    result = session.search()
+    print(f"4. Result: {result.num_queries} satisfying queries "
+          f"({result.stats.validations} filter validations, "
+          f"{result.stats.elapsed_seconds:.2f}s)")
+    for index, sql in enumerate(result.sql()[:5], start=1):
+        print(f"   [{index}] {sql}")
+    if result.num_queries:
+        session.select_query(0)
+        print("4.2 explanation of the first query:")
+        print(session.explain(fmt="ascii"))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "databases":
+        return _command_databases()
+    if args.command == "schema":
+        return _command_schema(args.database)
+    if args.command == "search":
+        return _command_search(args)
+    if args.command == "demo":
+        return _command_demo(args.scheduler)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

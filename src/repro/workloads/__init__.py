@@ -1,0 +1,16 @@
+"""Synthesised workloads: ground-truth cases and constraint degradation."""
+
+from repro.workloads.degrade import (
+    DEFAULT_SWEEP_LEVELS,
+    ResolutionLevel,
+    spec_for_level,
+)
+from repro.workloads.generator import WorkloadCase, WorkloadGenerator
+
+__all__ = [
+    "DEFAULT_SWEEP_LEVELS",
+    "ResolutionLevel",
+    "WorkloadCase",
+    "WorkloadGenerator",
+    "spec_for_level",
+]

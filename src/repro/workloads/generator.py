@@ -1,0 +1,196 @@
+"""Synthesised workload cases (§2.4).
+
+The paper evaluates Prism "on a set of synthesized test cases created from
+a public relational database Mondial".  A :class:`WorkloadCase` is one such
+test case: a ground-truth Project-Join query drawn from the source
+database's schema graph together with sample rows taken from its actual
+result.  Constraint specs of varying resolution are then derived from the
+case by :mod:`repro.workloads.degrade`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from repro.dataset.database import Database
+from repro.dataset.schema import ColumnRef, ForeignKey
+from repro.dataset.schema_graph import SchemaGraph
+from repro.errors import WorkloadError
+from repro.query.executor import Executor
+from repro.query.pj_query import ProjectJoinQuery
+
+__all__ = ["WorkloadCase", "WorkloadGenerator"]
+
+
+@dataclass
+class WorkloadCase:
+    """One synthesised schema mapping task with known ground truth."""
+
+    case_id: int
+    ground_truth: ProjectJoinQuery
+    sample_rows: list[tuple[Any, ...]] = field(default_factory=list)
+
+    @property
+    def num_columns(self) -> int:
+        """Width of the target schema."""
+        return self.ground_truth.width
+
+    @property
+    def join_size(self) -> int:
+        """Number of join edges in the ground-truth query."""
+        return self.ground_truth.join_size
+
+    def matches_query(self, query: ProjectJoinQuery) -> bool:
+        """Whether ``query`` is exactly the ground-truth mapping."""
+        return query.signature() == self.ground_truth.signature()
+
+
+class WorkloadGenerator:
+    """Generates ground-truth cases from a source database."""
+
+    def __init__(self, database: Database, seed: int = 0):
+        self._database = database
+        self._graph = SchemaGraph(database)
+        self._executor = Executor(database)
+        self._rng = random.Random(seed)
+        self._next_id = 0
+
+    @property
+    def database(self) -> Database:
+        """The source database cases are drawn from."""
+        return self._database
+
+    # ------------------------------------------------------------------
+    # Case generation
+    # ------------------------------------------------------------------
+    def generate_case(
+        self,
+        num_columns: int = 3,
+        num_tables: int = 2,
+        num_samples: int = 1,
+        max_attempts: int = 200,
+    ) -> WorkloadCase:
+        """Generate one case with the requested shape.
+
+        Args:
+            num_columns: width of the target schema.
+            num_tables: number of tables in the ground-truth join tree.
+            num_samples: number of ground-truth sample rows to record.
+            max_attempts: how many random draws to try before giving up.
+
+        Raises:
+            WorkloadError: when no non-empty ground-truth query of the
+                requested shape could be found within ``max_attempts``.
+        """
+        if num_columns < 1:
+            raise WorkloadError("num_columns must be at least 1")
+        if num_tables < 1:
+            raise WorkloadError("num_tables must be at least 1")
+        for __ in range(max_attempts):
+            tree = self._random_join_tree(num_tables)
+            if tree is None:
+                continue
+            tables, edges = tree
+            projections = self._random_projections(tables, num_columns)
+            if projections is None:
+                continue
+            query = ProjectJoinQuery(tuple(projections), tuple(edges))
+            rows = self._executor.execute(query, limit=500)
+            usable_rows = [
+                row for row in rows if all(cell is not None for cell in row)
+            ]
+            if len(usable_rows) < num_samples:
+                continue
+            samples = self._rng.sample(usable_rows, num_samples)
+            case = WorkloadCase(
+                case_id=self._next_id,
+                ground_truth=query,
+                sample_rows=[tuple(row) for row in samples],
+            )
+            self._next_id += 1
+            return case
+        raise WorkloadError(
+            f"could not synthesise a case with {num_columns} columns over "
+            f"{num_tables} tables after {max_attempts} attempts"
+        )
+
+    def generate_cases(
+        self,
+        count: int,
+        num_columns: int = 3,
+        num_tables: int = 2,
+        num_samples: int = 1,
+    ) -> list[WorkloadCase]:
+        """Generate ``count`` cases of the same shape."""
+        return [
+            self.generate_case(
+                num_columns=num_columns,
+                num_tables=num_tables,
+                num_samples=num_samples,
+            )
+            for __ in range(count)
+        ]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _random_join_tree(
+        self, num_tables: int
+    ) -> Optional[tuple[set[str], list[ForeignKey]]]:
+        """Grow a random connected join tree with ``num_tables`` tables."""
+        tables = [
+            table
+            for table in self._graph.tables
+            if self._database.table(table).num_rows > 0
+        ]
+        if not tables:
+            return None
+        start = self._rng.choice(tables)
+        chosen = {start}
+        edges: list[ForeignKey] = []
+        while len(chosen) < num_tables:
+            frontier: list[ForeignKey] = []
+            for table in chosen:
+                for edge in self._graph.incident_foreign_keys(table):
+                    other = (
+                        edge.parent_table
+                        if edge.child_table in chosen
+                        else edge.child_table
+                    )
+                    if other not in chosen and self._database.table(other).num_rows:
+                        frontier.append(edge)
+            if not frontier:
+                return None
+            edge = self._rng.choice(frontier)
+            chosen.update(edge.tables())
+            edges.append(edge)
+        return chosen, edges
+
+    def _random_projections(
+        self, tables: set[str], num_columns: int
+    ) -> Optional[list[ColumnRef]]:
+        """Pick projection columns covering every chosen table when possible."""
+        available: list[ColumnRef] = []
+        for table_name in sorted(tables):
+            table = self._database.table(table_name)
+            for column in table.columns:
+                available.append(ColumnRef(table_name, column.name))
+        if len(available) < num_columns:
+            return None
+        if num_columns >= len(tables):
+            # Force at least one projection per table so the join matters.
+            projections: list[ColumnRef] = []
+            for table_name in sorted(tables):
+                table_columns = [ref for ref in available if ref.table == table_name]
+                projections.append(self._rng.choice(table_columns))
+            remaining = [ref for ref in available if ref not in projections]
+            extra_needed = num_columns - len(projections)
+            if extra_needed > len(remaining):
+                return None
+            projections.extend(self._rng.sample(remaining, extra_needed))
+        else:
+            projections = self._rng.sample(available, num_columns)
+        self._rng.shuffle(projections)
+        return projections

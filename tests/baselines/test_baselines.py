@@ -1,0 +1,103 @@
+"""Unit tests for the MWeaver-style and Filter baselines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.filter_baseline import FilterBaseline
+from repro.baselines.mweaver import MWeaverBaseline, UnsupportedSpecError
+from repro.constraints.metadata import MetadataField, MetadataPredicate
+from repro.constraints.spec import MappingSpec
+from repro.constraints.values import ExactValue, OneOf, Range
+
+
+@pytest.fixture(scope="module")
+def mweaver(company_db_session):
+    return MWeaverBaseline(company_db_session)
+
+
+@pytest.fixture(scope="module")
+def filter_baseline(company_db_session):
+    return FilterBaseline(company_db_session)
+
+
+def exact_spec() -> MappingSpec:
+    spec = MappingSpec(2)
+    spec.add_sample_cells([ExactValue("Engineering"), ExactValue("Query Optimizer")])
+    return spec
+
+
+class TestMWeaverSupport:
+    def test_exact_complete_spec_is_supported(self, mweaver):
+        assert mweaver.supports(exact_spec())
+        mweaver.check_supported(exact_spec())
+
+    def test_incomplete_sample_rejected(self, mweaver):
+        spec = MappingSpec(2).add_sample_cells([ExactValue("Engineering"), None])
+        assert not mweaver.supports(spec)
+        with pytest.raises(UnsupportedSpecError):
+            mweaver.check_supported(spec)
+
+    def test_disjunction_rejected(self, mweaver):
+        spec = MappingSpec(2).add_sample_cells(
+            [OneOf(["Engineering", "Research"]), ExactValue("Query Optimizer")]
+        )
+        with pytest.raises(UnsupportedSpecError):
+            mweaver.check_supported(spec)
+
+    def test_range_rejected(self, mweaver):
+        spec = MappingSpec(1).add_sample_cells([Range(0, 10)])
+        with pytest.raises(UnsupportedSpecError):
+            mweaver.check_supported(spec)
+
+    def test_metadata_rejected(self, mweaver):
+        spec = exact_spec()
+        spec.set_metadata(
+            0, MetadataPredicate(MetadataField.DATA_TYPE, "==", "text")
+        )
+        with pytest.raises(UnsupportedSpecError):
+            mweaver.check_supported(spec)
+
+    def test_spec_without_samples_rejected(self, mweaver):
+        with pytest.raises(UnsupportedSpecError):
+            mweaver.check_supported(MappingSpec(1))
+
+    def test_discover_refuses_unsupported_spec(self, mweaver):
+        spec = MappingSpec(2).add_sample_cells([ExactValue("Engineering"), None])
+        with pytest.raises(UnsupportedSpecError):
+            mweaver.discover(spec)
+
+
+class TestMWeaverDiscovery:
+    def test_exact_spec_recovers_mapping(self, mweaver):
+        result = mweaver.discover(exact_spec())
+        assert result.num_queries >= 1
+        assert result.stats.scheduler_name == "naive"
+
+    def test_agrees_with_prism_on_exact_specs(self, mweaver, company_prism):
+        baseline_sqls = sorted(mweaver.discover(exact_spec()).sql())
+        prism_sqls = sorted(company_prism.discover(exact_spec()).sql())
+        assert baseline_sqls == prism_sqls
+
+    def test_database_property(self, mweaver, company_db_session):
+        assert mweaver.database is company_db_session
+
+
+class TestFilterBaseline:
+    def test_supports_multiresolution_specs(self, filter_baseline):
+        spec = MappingSpec(2)
+        spec.add_sample_cells(
+            [OneOf(["Engineering", "Research"]), ExactValue("Query Optimizer")]
+        )
+        result = filter_baseline.discover(spec)
+        assert result.num_queries >= 1
+        assert result.stats.scheduler_name == "filter"
+
+    def test_agrees_with_prism_results(self, filter_baseline, company_prism):
+        spec = exact_spec()
+        assert sorted(filter_baseline.discover(spec).sql()) == sorted(
+            company_prism.discover(spec).sql()
+        )
+
+    def test_database_property(self, filter_baseline, company_db_session):
+        assert filter_baseline.database is company_db_session

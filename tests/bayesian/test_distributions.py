@@ -1,0 +1,106 @@
+"""Unit tests for per-column value distributions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bayesian.distributions import ColumnDistribution
+from repro.constraints.values import (
+    AnyValue,
+    Conjunction,
+    Disjunction,
+    ExactValue,
+    OneOf,
+    Predicate,
+    Range,
+)
+from repro.dataset.types import DataType
+
+
+@pytest.fixture()
+def city_distribution() -> ColumnDistribution:
+    values = ["Ann Arbor", "Ann Arbor", "Detroit", "Chicago", None]
+    return ColumnDistribution("City", DataType.TEXT, values)
+
+
+@pytest.fixture()
+def salary_distribution() -> ColumnDistribution:
+    values = [50.0, 60.0, 70.0, 80.0, 90.0, 100.0, None, None]
+    return ColumnDistribution("Salary", DataType.DECIMAL, values)
+
+
+class TestCategorical:
+    def test_value_probability_matches_frequency(self, city_distribution):
+        assert city_distribution.value_probability("Ann Arbor") == pytest.approx(2 / 5)
+        assert city_distribution.value_probability("Detroit") == pytest.approx(1 / 5)
+
+    def test_unseen_value_gets_smoothed_probability(self, city_distribution):
+        probability = city_distribution.value_probability("Nowhere")
+        assert 0.0 < probability <= 0.5
+
+    def test_token_probability_counts_word_occurrences(self, city_distribution):
+        # 'Arbor' appears as a token of 'Ann Arbor' twice.
+        assert city_distribution.value_probability("Arbor") == pytest.approx(2 / 5)
+
+    def test_null_fraction(self, city_distribution):
+        assert city_distribution.null_fraction == pytest.approx(1 / 5)
+
+    def test_empty_column(self):
+        distribution = ColumnDistribution("x", DataType.TEXT, [])
+        assert distribution.value_probability("anything") == 0.0
+        assert distribution.match_probability(ExactValue("a")) == 0.0
+
+
+class TestNumeric:
+    def test_range_probability(self, salary_distribution):
+        assert salary_distribution.range_probability(60, 80) == pytest.approx(3 / 8)
+        assert salary_distribution.range_probability(None, 55) == pytest.approx(1 / 8)
+        assert salary_distribution.range_probability(1000, None) == 0.0
+
+    def test_range_probability_respects_exclusivity(self, salary_distribution):
+        inclusive = salary_distribution.range_probability(60, 80)
+        exclusive = salary_distribution.range_probability(
+            60, 80, low_inclusive=False, high_inclusive=False
+        )
+        assert exclusive < inclusive
+
+    def test_non_numeric_column_has_zero_range_probability(self, city_distribution):
+        assert city_distribution.range_probability(0, 10) == 0.0
+
+
+class TestConstraintProbability:
+    def test_exact_and_oneof(self, city_distribution):
+        exact = city_distribution.match_probability(ExactValue("Detroit"))
+        union = city_distribution.match_probability(OneOf(["Detroit", "Chicago"]))
+        assert union == pytest.approx(exact * 2)
+
+    def test_any_value_is_non_null_fraction(self, city_distribution):
+        assert city_distribution.match_probability(AnyValue()) == pytest.approx(4 / 5)
+
+    def test_range_constraint(self, salary_distribution):
+        probability = salary_distribution.match_probability(Range(60, 80))
+        assert probability == pytest.approx(3 / 8)
+
+    def test_predicate_constraints(self, salary_distribution):
+        assert salary_distribution.match_probability(
+            Predicate(">=", 90)
+        ) == pytest.approx(2 / 8)
+        assert salary_distribution.match_probability(
+            Predicate("<", 60)
+        ) == pytest.approx(1 / 8)
+
+    def test_conjunction_multiplies(self, salary_distribution):
+        conjunction = Conjunction([Predicate(">=", 60), Predicate("<=", 80)])
+        probability = salary_distribution.match_probability(conjunction)
+        assert 0.0 < probability <= salary_distribution.match_probability(
+            Predicate(">=", 60)
+        )
+
+    def test_disjunction_is_at_least_each_part(self, city_distribution):
+        disjunction = Disjunction([ExactValue("Detroit"), ExactValue("Chicago")])
+        probability = city_distribution.match_probability(disjunction)
+        assert probability >= city_distribution.match_probability(ExactValue("Detroit"))
+
+    def test_probabilities_stay_in_unit_interval(self, city_distribution):
+        big_union = OneOf(["Ann Arbor", "Detroit", "Chicago", "Ann Arbor"])
+        assert 0.0 <= city_distribution.match_probability(big_union) <= 1.0

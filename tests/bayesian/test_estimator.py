@@ -1,0 +1,107 @@
+"""Unit tests for the selectivity / failure-probability estimator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bayesian.training import train_models
+from repro.constraints.values import ExactValue, Range
+from repro.dataset.schema import ColumnRef, ForeignKey
+from repro.query.pj_query import ProjectJoinQuery
+
+
+EMP_DEPT = ForeignKey("Employee", "Department", "Department", "Name")
+
+
+@pytest.fixture()
+def estimator(company_db):
+    return train_models(company_db).estimator()
+
+
+def single_table_query() -> ProjectJoinQuery:
+    return ProjectJoinQuery(
+        (ColumnRef("Employee", "Name"), ColumnRef("Employee", "Department"))
+    )
+
+
+def join_query() -> ProjectJoinQuery:
+    return ProjectJoinQuery(
+        (ColumnRef("Department", "City"), ColumnRef("Employee", "Name")),
+        (EMP_DEPT,),
+    )
+
+
+class TestResultSize:
+    def test_single_table_size_is_row_count(self, estimator):
+        assert estimator.expected_result_size(single_table_query()) == 6
+
+    def test_fk_join_size_matches_reality(self, estimator, company_db):
+        # Every employee joins exactly one department: expected size 6.
+        assert estimator.expected_result_size(join_query()) == pytest.approx(6.0)
+
+    def test_unknown_edge_assumes_key_join(self, estimator):
+        unknown = ForeignKey("Employee", "Name", "Project", "Title")
+        query = ProjectJoinQuery(
+            (ColumnRef("Employee", "Name"), ColumnRef("Project", "Title")),
+            (unknown,),
+        )
+        size = estimator.expected_result_size(query)
+        assert size == pytest.approx(6 * 4 / 4)
+
+
+class TestMatchProbability:
+    def test_row_match_probability_multiplies_cells(self, estimator):
+        query = single_table_query()
+        both = estimator.row_match_probability(
+            query,
+            {0: ExactValue("Alice Chen"), 1: ExactValue("Engineering")},
+        )
+        name_only = estimator.row_match_probability(query, {0: ExactValue("Alice Chen")})
+        dept_only = estimator.row_match_probability(query, {1: ExactValue("Engineering")})
+        assert both == pytest.approx(name_only * dept_only)
+
+    def test_expected_matches_scale_with_result_size(self, estimator):
+        query = join_query()
+        cells = {1: ExactValue("Alice Chen")}
+        assert estimator.expected_matches(query, cells) == pytest.approx(
+            estimator.expected_result_size(query)
+            * estimator.row_match_probability(query, cells)
+        )
+
+
+class TestFailureProbability:
+    def test_probability_bounds(self, estimator):
+        query = join_query()
+        probability = estimator.failure_probability(query, {1: ExactValue("Alice Chen")})
+        assert 0.0 <= probability <= 1.0
+
+    def test_rare_values_fail_more_often_than_common_ones(self, estimator):
+        query = single_table_query()
+        rare = estimator.failure_probability(query, {0: ExactValue("Alice Chen")})
+        common = estimator.failure_probability(query, {1: ExactValue("Engineering")})
+        assert rare > common
+
+    def test_impossible_constraint_is_near_certain_failure(self, estimator):
+        query = single_table_query()
+        # Salary-like range on a text column's position via a range that the
+        # model resolves through frequency scanning: no match -> high failure.
+        probability = estimator.failure_probability(
+            query, {0: ExactValue("Zzyzx Nobody")}
+        )
+        assert probability > 0.5
+
+    def test_no_constraints_means_failure_only_if_empty(self, estimator):
+        assert estimator.failure_probability(join_query(), {}) < 0.01
+
+    def test_estimated_cost_grows_with_join_size(self, estimator):
+        assert estimator.estimated_cost(join_query()) > estimator.estimated_cost(
+            single_table_query()
+        )
+
+    def test_range_constraints_are_supported(self, estimator):
+        query = ProjectJoinQuery(
+            (ColumnRef("Employee", "Salary"),)
+        )
+        high = estimator.failure_probability(query, {0: Range(1_000_000, 2_000_000)})
+        low = estimator.failure_probability(query, {0: Range(60_000, 130_000)})
+        assert high > low

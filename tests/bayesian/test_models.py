@@ -1,0 +1,115 @@
+"""Unit tests for single-relation models, join indicators and training."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bayesian.join_indicator import JoinIndicatorModel
+from repro.bayesian.single_relation import SingleRelationModel
+from repro.bayesian.training import train_models
+from repro.constraints.values import ExactValue, Range
+from repro.dataset import Column, Database, DataType
+from repro.dataset.schema import ForeignKey
+from repro.errors import TrainingError
+
+
+class TestSingleRelationModel:
+    def test_fit_from_table(self, company_db):
+        model = SingleRelationModel.fit(company_db.table("Employee"))
+        assert model.table_name == "Employee"
+        assert model.row_count == 6
+        assert model.has_column("Salary")
+        assert not model.has_column("Ghost")
+
+    def test_row_match_probability_is_product(self, company_db):
+        model = SingleRelationModel.fit(company_db.table("Employee"))
+        department = model.distribution("Department").match_probability(
+            ExactValue("Research")
+        )
+        salary = model.distribution("Salary").match_probability(Range(100_000, 120_000))
+        joint = model.row_match_probability(
+            {"Department": ExactValue("Research"), "Salary": Range(100_000, 120_000)}
+        )
+        assert joint == pytest.approx(department * salary)
+
+    def test_exists_probability_increases_with_rows(self, company_db):
+        model = SingleRelationModel.fit(company_db.table("Employee"))
+        constraints = {"Department": ExactValue("Research")}
+        small = model.exists_probability(constraints, row_count=1)
+        large = model.exists_probability(constraints, row_count=100)
+        assert small < large <= 1.0
+
+    def test_failure_probability_complements_exists(self, company_db):
+        model = SingleRelationModel.fit(company_db.table("Employee"))
+        constraints = {"Department": ExactValue("Research")}
+        assert model.failure_probability(constraints) == pytest.approx(
+            1.0 - model.exists_probability(constraints)
+        )
+
+    def test_zero_rows_mean_certain_failure(self, company_db):
+        model = SingleRelationModel.fit(company_db.table("Employee"))
+        assert model.exists_probability({"Name": ExactValue("x")}, row_count=0) == 0.0
+
+    def test_unknown_column_raises(self, company_db):
+        model = SingleRelationModel.fit(company_db.table("Employee"))
+        with pytest.raises(TrainingError):
+            model.distribution("Ghost")
+
+    def test_negative_row_count_rejected(self):
+        with pytest.raises(TrainingError):
+            SingleRelationModel("T", -1, {})
+
+
+class TestJoinIndicatorModel:
+    def test_foreign_key_join_statistics(self, company_db):
+        fk = ForeignKey("Employee", "Department", "Department", "Name")
+        model = JoinIndicatorModel.fit(company_db, fk)
+        # Every employee references an existing department.
+        assert model.child_match_fraction == pytest.approx(1.0)
+        assert model.parent_match_fraction == pytest.approx(1.0)
+        # 6 joining pairs out of 6 * 4 possible pairs.
+        assert model.expected_join_size == 6
+        assert model.join_probability == pytest.approx(6 / 24)
+
+    def test_dangling_references_lower_match_fraction(self):
+        database = Database("dangling")
+        parent = database.create_table("P", [Column("k", DataType.TEXT)])
+        child = database.create_table("C", [Column("fk", DataType.TEXT)])
+        parent.insert_many([("a",), ("b",)])
+        child.insert_many([("a",), ("z",), ("z",)])
+        fk = ForeignKey("C", "fk", "P", "k")
+        database.add_foreign_key(fk)
+        model = JoinIndicatorModel.fit(database, fk)
+        assert model.child_match_fraction == pytest.approx(1 / 3)
+        assert model.parent_match_fraction == pytest.approx(1 / 2)
+        assert model.expected_join_size == 1
+
+    def test_empty_tables_give_zero_probability(self):
+        database = Database("empty")
+        database.create_table("P", [Column("k", DataType.TEXT)])
+        database.create_table("C", [Column("fk", DataType.TEXT)])
+        fk = ForeignKey("C", "fk", "P", "k")
+        database.add_foreign_key(fk)
+        model = JoinIndicatorModel.fit(database, fk)
+        assert model.join_probability == 0.0
+        assert model.expected_join_size == 0.0
+
+    def test_key_preserves_direction(self):
+        fk = ForeignKey("C", "fk", "P", "k")
+        assert JoinIndicatorModel.key(fk) == ("C", "fk", "P", "k")
+
+
+class TestTraining:
+    def test_train_models_covers_all_tables_and_edges(self, company_db):
+        model_set = train_models(company_db)
+        assert model_set.num_relation_models == len(company_db.table_names)
+        assert model_set.num_join_models == len(company_db.foreign_keys)
+        assert model_set.database_name == "company"
+
+    def test_estimator_is_built_from_models(self, company_db):
+        estimator = train_models(company_db).estimator()
+        assert estimator.relation_model("Employee").row_count == 6
+
+    def test_training_empty_database_raises(self):
+        with pytest.raises(TrainingError):
+            train_models(Database("nothing"))

@@ -1,0 +1,146 @@
+"""Shared pytest fixtures.
+
+Heavy objects (the synthetic demo databases and a preprocessed Prism
+engine) are session-scoped; the hand-crafted ``company`` database is small
+and rebuilt per test module so tests can rely on exact contents.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataset import Column, Database, DataType
+from repro.datasets import load_imdb, load_mondial, load_nba
+from repro.discovery import GenerationLimits, Prism
+
+
+def build_company_database() -> Database:
+    """A tiny, fully known database used by precise unit tests.
+
+    Schema: Department ← Employee ← Assignment → Project, mirroring the
+    classic employee/department example; every row is hand written so tests
+    can assert exact results.
+    """
+    database = Database("company")
+    department = database.create_table(
+        "Department",
+        [
+            Column("Name", DataType.TEXT, primary_key=True),
+            Column("City", DataType.TEXT),
+            Column("Budget", DataType.DECIMAL),
+        ],
+    )
+    employee = database.create_table(
+        "Employee",
+        [
+            Column("Id", DataType.INT, primary_key=True),
+            Column("Name", DataType.TEXT),
+            Column("Department", DataType.TEXT),
+            Column("Salary", DataType.DECIMAL),
+            Column("Age", DataType.INT),
+        ],
+    )
+    project = database.create_table(
+        "Project",
+        [
+            Column("Code", DataType.TEXT, primary_key=True),
+            Column("Title", DataType.TEXT),
+            Column("Budget", DataType.DECIMAL),
+        ],
+    )
+    assignment = database.create_table(
+        "Assignment",
+        [
+            Column("EmployeeId", DataType.INT),
+            Column("ProjectCode", DataType.TEXT),
+            Column("Hours", DataType.INT),
+        ],
+    )
+
+    department.insert_many(
+        [
+            ("Engineering", "Ann Arbor", 1_200_000.0),
+            ("Marketing", "Detroit", 300_000.0),
+            ("Research", "Ann Arbor", 900_000.0),
+            ("Sales", "Chicago", 450_000.0),
+        ]
+    )
+    employee.insert_many(
+        [
+            (1, "Alice Chen", "Engineering", 120_000.0, 34),
+            (2, "Bob Diaz", "Engineering", 98_000.0, 29),
+            (3, "Carol Evans", "Marketing", 76_000.0, 41),
+            (4, "Dan Fox", "Research", 105_000.0, 38),
+            (5, "Eve Gupta", "Research", 111_000.0, 27),
+            (6, "Frank Hill", "Sales", 67_000.0, 45),
+        ]
+    )
+    project.insert_many(
+        [
+            ("P1", "Query Optimizer", 500_000.0),
+            ("P2", "Brand Refresh", 120_000.0),
+            ("P3", "Schema Mapping", 640_000.0),
+            ("P4", "Field Outreach", 90_000.0),
+        ]
+    )
+    assignment.insert_many(
+        [
+            (1, "P1", 300),
+            (1, "P3", 150),
+            (2, "P1", 420),
+            (3, "P2", 380),
+            (4, "P3", 500),
+            (5, "P3", 460),
+            (6, "P4", 200),
+        ]
+    )
+
+    database.link("Employee.Department", "Department.Name")
+    database.link("Assignment.EmployeeId", "Employee.Id")
+    database.link("Assignment.ProjectCode", "Project.Code")
+    return database
+
+
+@pytest.fixture()
+def company_db() -> Database:
+    """Fresh tiny company database (fully known contents)."""
+    return build_company_database()
+
+
+@pytest.fixture(scope="session")
+def company_db_session() -> Database:
+    """Session-scoped company database for read-only tests."""
+    return build_company_database()
+
+
+@pytest.fixture(scope="session")
+def company_prism(company_db_session) -> Prism:
+    """Preprocessed Prism engine over the company database."""
+    return Prism(company_db_session)
+
+
+@pytest.fixture(scope="session")
+def mondial_db() -> Database:
+    """The synthetic Mondial database (read-only in tests)."""
+    return load_mondial()
+
+
+@pytest.fixture(scope="session")
+def imdb_db() -> Database:
+    """The synthetic IMDB database (read-only in tests)."""
+    return load_imdb()
+
+
+@pytest.fixture(scope="session")
+def nba_db() -> Database:
+    """The synthetic NBA database (read-only in tests)."""
+    return load_nba()
+
+
+@pytest.fixture(scope="session")
+def mondial_prism(mondial_db) -> Prism:
+    """Preprocessed Prism engine over Mondial with modest search bounds."""
+    return Prism(
+        mondial_db,
+        limits=GenerationLimits(max_candidates=400, max_assignments=800),
+    )

@@ -1,0 +1,170 @@
+"""Unit tests for metadata (column-level) constraints."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints.metadata import (
+    MetadataConjunction,
+    MetadataDisjunction,
+    MetadataField,
+    MetadataPredicate,
+)
+from repro.constraints.resolution import Resolution
+from repro.dataset.catalog import ColumnStats
+from repro.dataset.schema import ColumnRef
+from repro.dataset.types import DataType
+from repro.errors import ConstraintError
+
+
+def make_stats(
+    column: str = "Area",
+    data_type: DataType = DataType.DECIMAL,
+    min_value=0.5,
+    max_value=58_030.0,
+    max_text_length=None,
+) -> ColumnStats:
+    return ColumnStats(
+        ref=ColumnRef("Lake", column),
+        data_type=data_type,
+        row_count=100,
+        null_count=0,
+        distinct_count=90,
+        min_value=min_value,
+        max_value=max_value,
+        max_text_length=max_text_length,
+    )
+
+
+class TestMetadataField:
+    def test_from_name_aliases(self):
+        assert MetadataField.from_name("datatype") is MetadataField.DATA_TYPE
+        assert MetadataField.from_name("ColumnName") is MetadataField.COLUMN_NAME
+        assert MetadataField.from_name("MinValue") is MetadataField.MIN_VALUE
+        assert MetadataField.from_name("max_value") is MetadataField.MAX_VALUE
+        assert MetadataField.from_name("MaxTextLength") is MetadataField.MAX_LENGTH
+
+    def test_unknown_field_raises(self):
+        with pytest.raises(ConstraintError):
+            MetadataField.from_name("Cardinality")
+
+
+class TestDataTypePredicate:
+    def test_matching_type(self):
+        predicate = MetadataPredicate(MetadataField.DATA_TYPE, "==", "decimal")
+        assert predicate.matches(make_stats())
+        assert not predicate.matches(make_stats(data_type=DataType.TEXT))
+
+    def test_int_column_satisfies_decimal_requirement(self):
+        predicate = MetadataPredicate(MetadataField.DATA_TYPE, "==", "decimal")
+        assert predicate.matches(make_stats(data_type=DataType.INT))
+
+    def test_negation(self):
+        predicate = MetadataPredicate(MetadataField.DATA_TYPE, "!=", "text")
+        assert predicate.matches(make_stats())
+        assert not predicate.matches(make_stats(data_type=DataType.TEXT))
+
+    def test_only_equality_operators_allowed(self):
+        with pytest.raises(ConstraintError):
+            MetadataPredicate(MetadataField.DATA_TYPE, ">=", "decimal")
+
+    def test_constant_accepts_datatype_instance(self):
+        predicate = MetadataPredicate(MetadataField.DATA_TYPE, "==", DataType.TEXT)
+        assert predicate.matches(make_stats(data_type=DataType.TEXT))
+
+
+class TestColumnNamePredicate:
+    def test_case_insensitive_equality(self):
+        predicate = MetadataPredicate(MetadataField.COLUMN_NAME, "==", "area")
+        assert predicate.matches(make_stats())
+        assert not predicate.matches(make_stats(column="Depth"))
+
+    def test_inequality(self):
+        predicate = MetadataPredicate(MetadataField.COLUMN_NAME, "!=", "Depth")
+        assert predicate.matches(make_stats())
+
+    def test_range_operator_rejected(self):
+        with pytest.raises(ConstraintError):
+            MetadataPredicate(MetadataField.COLUMN_NAME, "<", "Area")
+
+
+class TestBoundPredicates:
+    def test_min_value(self):
+        predicate = MetadataPredicate(MetadataField.MIN_VALUE, ">=", 0)
+        assert predicate.matches(make_stats(min_value=0.5))
+        assert not predicate.matches(make_stats(min_value=-3.0))
+
+    def test_min_value_accepts_string_constant(self):
+        predicate = MetadataPredicate(MetadataField.MIN_VALUE, ">=", "0")
+        assert predicate.matches(make_stats(min_value=0.5))
+
+    def test_max_value(self):
+        predicate = MetadataPredicate(MetadataField.MAX_VALUE, "<=", 100_000)
+        assert predicate.matches(make_stats())
+        assert not predicate.matches(make_stats(max_value=200_000.0))
+
+    def test_max_length(self):
+        predicate = MetadataPredicate(MetadataField.MAX_LENGTH, "<=", 30)
+        stats = make_stats(data_type=DataType.TEXT, max_text_length=20,
+                           min_value="a", max_value="z")
+        assert predicate.matches(stats)
+        assert not predicate.matches(
+            make_stats(data_type=DataType.TEXT, max_text_length=45,
+                       min_value="a", max_value="z")
+        )
+
+    def test_missing_statistic_never_matches(self):
+        predicate = MetadataPredicate(MetadataField.MIN_VALUE, ">=", 0)
+        assert not predicate.matches(make_stats(min_value=None, max_value=None))
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ConstraintError):
+            MetadataPredicate(MetadataField.MIN_VALUE, "~", 0)
+
+
+class TestComposites:
+    def test_conjunction(self):
+        constraint = MetadataConjunction(
+            [
+                MetadataPredicate(MetadataField.DATA_TYPE, "==", "decimal"),
+                MetadataPredicate(MetadataField.MIN_VALUE, ">=", 0),
+            ]
+        )
+        assert constraint.matches(make_stats())
+        assert not constraint.matches(make_stats(min_value=-1.0))
+
+    def test_disjunction(self):
+        constraint = MetadataDisjunction(
+            [
+                MetadataPredicate(MetadataField.COLUMN_NAME, "==", "Area"),
+                MetadataPredicate(MetadataField.COLUMN_NAME, "==", "Depth"),
+            ]
+        )
+        assert constraint.matches(make_stats(column="Depth"))
+        assert not constraint.matches(make_stats(column="Altitude"))
+
+    def test_composites_require_two_parts(self):
+        predicate = MetadataPredicate(MetadataField.MIN_VALUE, ">=", 0)
+        with pytest.raises(ConstraintError):
+            MetadataConjunction([predicate])
+        with pytest.raises(ConstraintError):
+            MetadataDisjunction([predicate])
+
+    def test_resolution_is_low(self):
+        predicate = MetadataPredicate(MetadataField.MIN_VALUE, ">=", 0)
+        assert predicate.resolution is Resolution.LOW
+
+    def test_describe_matches_demo_syntax(self):
+        constraint = MetadataConjunction(
+            [
+                MetadataPredicate(MetadataField.DATA_TYPE, "==", "decimal"),
+                MetadataPredicate(MetadataField.MIN_VALUE, ">=", 0),
+            ]
+        )
+        assert constraint.describe() == "DataType == 'decimal' AND MinValue >= 0"
+
+    def test_equality_and_hash(self):
+        first = MetadataPredicate(MetadataField.MIN_VALUE, ">=", 0)
+        second = MetadataPredicate(MetadataField.MIN_VALUE, ">=", 0)
+        assert first == second
+        assert hash(first) == hash(second)

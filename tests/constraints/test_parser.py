@@ -1,0 +1,164 @@
+"""Unit tests for the textual constraint parser (Figure 1 syntax)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints.metadata import (
+    MetadataConjunction,
+    MetadataDisjunction,
+    MetadataField,
+    MetadataPredicate,
+)
+from repro.constraints.parser import (
+    parse_literal,
+    parse_metadata_constraint,
+    parse_value_constraint,
+)
+from repro.constraints.values import (
+    Conjunction,
+    ExactValue,
+    OneOf,
+    Predicate,
+    Range,
+)
+from repro.dataset.types import DataType
+from repro.errors import ConstraintParseError
+
+
+class TestParseLiteral:
+    def test_quoted_strings_keep_content(self):
+        assert parse_literal("'decimal'") == "decimal"
+        assert parse_literal('"Lake Tahoe"') == "Lake Tahoe"
+
+    def test_numbers_are_converted(self):
+        assert parse_literal("42") == 42
+        assert parse_literal("-3.5") == -3.5
+        assert isinstance(parse_literal("42"), int)
+
+    def test_plain_text_passes_through(self):
+        assert parse_literal("Lake Tahoe") == "Lake Tahoe"
+
+
+class TestParseValueConstraint:
+    def test_blank_and_wildcard_mean_unconstrained(self):
+        assert parse_value_constraint(None) is None
+        assert parse_value_constraint("") is None
+        assert parse_value_constraint("   ") is None
+        assert parse_value_constraint("*") is None
+        assert parse_value_constraint("?") is None
+
+    def test_plain_keyword_is_exact(self):
+        constraint = parse_value_constraint("Lake Tahoe")
+        assert isinstance(constraint, ExactValue)
+        assert constraint.value == "Lake Tahoe"
+
+    def test_numeric_keyword_is_exact_number(self):
+        constraint = parse_value_constraint("497")
+        assert isinstance(constraint, ExactValue)
+        assert constraint.value == 497
+
+    def test_disjunction_of_keywords(self):
+        constraint = parse_value_constraint("California || Nevada")
+        assert isinstance(constraint, OneOf)
+        assert constraint.values == ("California", "Nevada")
+
+    def test_disjunction_of_three(self):
+        constraint = parse_value_constraint("a || b || c")
+        assert isinstance(constraint, OneOf)
+        assert len(constraint.values) == 3
+
+    def test_bracket_range(self):
+        constraint = parse_value_constraint("[400, 600]")
+        assert isinstance(constraint, Range)
+        assert constraint.low == 400 and constraint.high == 600
+        assert constraint.low_inclusive and constraint.high_inclusive
+
+    def test_half_open_range(self):
+        constraint = parse_value_constraint("(0, 100]")
+        assert isinstance(constraint, Range)
+        assert not constraint.low_inclusive
+        assert constraint.high_inclusive
+
+    def test_open_ended_range(self):
+        constraint = parse_value_constraint("[100, ]")
+        assert isinstance(constraint, Range)
+        assert constraint.low == 100 and constraint.high is None
+
+    def test_dotdot_range(self):
+        constraint = parse_value_constraint("400 .. 600")
+        assert isinstance(constraint, Range)
+        assert constraint.matches(500)
+
+    def test_comparison_predicate(self):
+        constraint = parse_value_constraint(">= 0")
+        assert isinstance(constraint, Predicate)
+        assert constraint.matches(0) and not constraint.matches(-1)
+
+    def test_conjunction_of_predicates(self):
+        constraint = parse_value_constraint(">= 0 && < 100")
+        assert isinstance(constraint, Conjunction)
+        assert constraint.matches(50) and not constraint.matches(150)
+
+    def test_disjunction_of_mixed_terms(self):
+        constraint = parse_value_constraint("California || >= 1000")
+        assert constraint.matches("California")
+        assert constraint.matches(2_000)
+        assert not constraint.matches(500)
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(ConstraintParseError):
+            parse_value_constraint("[ , ]")
+
+    def test_describe_round_trip_for_disjunction(self):
+        text = "California || Nevada"
+        assert parse_value_constraint(text).describe() == text
+
+
+class TestParseMetadataConstraint:
+    def test_blank_means_unconstrained(self):
+        assert parse_metadata_constraint(None) is None
+        assert parse_metadata_constraint("  ") is None
+
+    def test_paper_example(self):
+        constraint = parse_metadata_constraint("DataType=='decimal' AND MinValue>='0'")
+        assert isinstance(constraint, MetadataConjunction)
+        parts = constraint.parts
+        assert isinstance(parts[0], MetadataPredicate)
+        assert parts[0].field is MetadataField.DATA_TYPE
+        assert parts[0].constant is DataType.DECIMAL
+        assert parts[1].field is MetadataField.MIN_VALUE
+
+    def test_single_predicate(self):
+        constraint = parse_metadata_constraint("ColumnName == 'Area'")
+        assert isinstance(constraint, MetadataPredicate)
+        assert constraint.field is MetadataField.COLUMN_NAME
+        assert constraint.constant == "Area"
+
+    def test_or_with_lower_precedence_than_and(self):
+        constraint = parse_metadata_constraint(
+            "DataType=='text' AND MaxLength<=40 OR ColumnName=='Area'"
+        )
+        assert isinstance(constraint, MetadataDisjunction)
+        assert isinstance(constraint.parts[0], MetadataConjunction)
+        assert isinstance(constraint.parts[1], MetadataPredicate)
+
+    def test_symbolic_logical_operators(self):
+        constraint = parse_metadata_constraint("MinValue>=0 && MaxValue<=100")
+        assert isinstance(constraint, MetadataConjunction)
+
+    def test_case_insensitive_keywords(self):
+        constraint = parse_metadata_constraint("minvalue >= 0 and maxvalue <= 10")
+        assert isinstance(constraint, MetadataConjunction)
+
+    def test_numeric_constants_are_parsed(self):
+        constraint = parse_metadata_constraint("MaxLength <= 40")
+        assert constraint.constant == 40
+
+    def test_unknown_field_raises(self):
+        with pytest.raises(ConstraintParseError):
+            parse_metadata_constraint("Cardinality >= 10")
+
+    def test_garbage_raises(self):
+        with pytest.raises(ConstraintParseError):
+            parse_metadata_constraint("DataType decimal")

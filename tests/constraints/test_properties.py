@@ -1,0 +1,126 @@
+"""Property-based tests (hypothesis) for the constraint language.
+
+These pin down the invariants the discovery pipeline relies on: exact
+constraints always match their own value, disjunctions behave like unions,
+ranges contain their endpoints and everything in between, and the textual
+parser round-trips through ``describe()``.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.constraints.parser import parse_value_constraint
+from repro.constraints.sample import SampleConstraint
+from repro.constraints.values import ExactValue, OneOf, Predicate, Range
+
+# Text that survives the demo's cell syntax unambiguously: no reserved
+# characters (|, &, brackets, quotes), not purely numeric-looking, no
+# leading/trailing whitespace.
+_keyword = st.from_regex(r"[A-Za-z][A-Za-z ]{0,18}[A-Za-z]", fullmatch=True)
+_numbers = st.one_of(
+    st.integers(min_value=-10**6, max_value=10**6),
+    st.floats(min_value=-10**6, max_value=10**6,
+              allow_nan=False, allow_infinity=False),
+)
+
+
+class TestExactValueProperties:
+    @given(_keyword)
+    def test_exact_text_matches_itself(self, keyword):
+        assert ExactValue(keyword).matches(keyword)
+
+    @given(_keyword)
+    def test_exact_text_matches_case_variants(self, keyword):
+        assert ExactValue(keyword).matches(keyword.upper())
+        assert ExactValue(keyword.lower()).matches(keyword)
+
+    @given(_numbers)
+    def test_exact_number_matches_itself(self, number):
+        assert ExactValue(number).matches(number)
+
+    @given(_numbers)
+    def test_exact_number_never_matches_none(self, number):
+        assert not ExactValue(number).matches(None)
+
+
+class TestOneOfProperties:
+    @given(st.lists(_keyword, min_size=1, max_size=5), st.data())
+    def test_oneof_matches_every_member(self, values, data):
+        constraint = OneOf(values)
+        chosen = data.draw(st.sampled_from(values))
+        assert constraint.matches(chosen)
+
+    @given(st.lists(_numbers, min_size=2, max_size=5))
+    def test_oneof_is_union_of_exacts(self, values):
+        constraint = OneOf(values)
+        for value in values:
+            assert constraint.matches(value) == any(
+                ExactValue(v).matches(value) for v in values
+            )
+
+
+class TestRangeProperties:
+    @given(_numbers, _numbers)
+    def test_range_contains_endpoints_and_midpoint(self, a, b):
+        low, high = sorted((a, b))
+        constraint = Range(low, high)
+        assert constraint.matches(low)
+        assert constraint.matches(high)
+        assert constraint.matches((low + high) / 2)
+
+    @given(_numbers, _numbers, _numbers)
+    def test_range_agrees_with_interval_arithmetic(self, a, b, probe):
+        low, high = sorted((a, b))
+        constraint = Range(low, high)
+        assert constraint.matches(probe) == (low <= probe <= high)
+
+    @given(_numbers, _numbers)
+    def test_predicate_pair_equivalent_to_range(self, a, b):
+        low, high = sorted((a, b))
+        ge = Predicate(">=", low)
+        le = Predicate("<=", high)
+        probe = (low + high) / 2
+        assert (ge.matches(probe) and le.matches(probe)) == Range(low, high).matches(probe)
+
+
+class TestParserRoundTrip:
+    @given(_keyword)
+    def test_keyword_round_trips(self, keyword):
+        constraint = parse_value_constraint(keyword)
+        assert isinstance(constraint, ExactValue)
+        assert constraint.matches(keyword)
+
+    @given(st.lists(_keyword, min_size=2, max_size=4))
+    @settings(max_examples=50)
+    def test_disjunction_round_trips(self, keywords):
+        text = " || ".join(keywords)
+        constraint = parse_value_constraint(text)
+        assert isinstance(constraint, OneOf)
+        for keyword in keywords:
+            assert constraint.matches(keyword)
+        reparsed = parse_value_constraint(constraint.describe())
+        for keyword in keywords:
+            assert reparsed.matches(keyword)
+
+    @given(st.integers(-10**6, 10**6), st.integers(-10**6, 10**6))
+    def test_range_text_round_trips(self, a, b):
+        low, high = sorted((a, b))
+        constraint = parse_value_constraint(f"[{low}, {high}]")
+        assert isinstance(constraint, Range)
+        assert constraint.matches(low) and constraint.matches(high)
+
+
+class TestSampleProperties:
+    @given(st.lists(_keyword, min_size=1, max_size=5))
+    def test_sample_built_from_row_is_satisfied_by_it(self, row):
+        sample = SampleConstraint.from_values(row)
+        assert sample.satisfied_by_row(tuple(row))
+
+    @given(st.lists(_keyword, min_size=2, max_size=5))
+    def test_sample_restriction_preserves_satisfaction(self, row):
+        sample = SampleConstraint.from_values(row)
+        positions = list(range(0, len(row), 2))
+        restricted = sample.restrict(positions)
+        assert restricted.satisfied_by_row(tuple(row[i] for i in positions))

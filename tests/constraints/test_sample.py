@@ -1,0 +1,100 @@
+"""Unit tests for sample constraints (rows of value constraints)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints.resolution import Resolution
+from repro.constraints.sample import SampleConstraint
+from repro.constraints.values import AnyValue, ExactValue, OneOf, Range
+from repro.errors import ConstraintError
+
+
+class TestConstruction:
+    def test_from_values_builds_exact_cells(self):
+        sample = SampleConstraint.from_values(["California", "Lake Tahoe", None])
+        assert sample.width == 3
+        assert isinstance(sample.cell(0), ExactValue)
+        assert sample.cell(2) is None
+
+    def test_requires_at_least_one_constrained_cell(self):
+        with pytest.raises(ConstraintError):
+            SampleConstraint([None, None])
+        with pytest.raises(ConstraintError):
+            SampleConstraint([AnyValue(), None])
+        with pytest.raises(ConstraintError):
+            SampleConstraint([])
+
+    def test_rejects_non_constraint_cells(self):
+        with pytest.raises(ConstraintError):
+            SampleConstraint(["raw string"])  # type: ignore[list-item]
+
+    def test_constrained_positions(self):
+        sample = SampleConstraint([ExactValue("a"), None, Range(0, 1)])
+        assert sample.constrained_positions() == [0, 2]
+
+
+class TestMatching:
+    def test_satisfied_by_row_checks_each_cell(self):
+        sample = SampleConstraint(
+            [OneOf(["California", "Nevada"]), ExactValue("Lake Tahoe"), None]
+        )
+        assert sample.satisfied_by_row(("Nevada", "Lake Tahoe", 497.0))
+        assert not sample.satisfied_by_row(("Oregon", "Lake Tahoe", 497.0))
+        assert not sample.satisfied_by_row(("Nevada", "Crater Lake", 53.2))
+
+    def test_unconstrained_cells_accept_anything_including_null(self):
+        sample = SampleConstraint([ExactValue("a"), None])
+        assert sample.satisfied_by_row(("a", None))
+
+    def test_row_width_mismatch_raises(self):
+        sample = SampleConstraint([ExactValue("a"), None])
+        with pytest.raises(ConstraintError):
+            sample.satisfied_by_row(("a",))
+
+    def test_satisfied_by_result_requires_only_one_matching_row(self):
+        sample = SampleConstraint([ExactValue("California"), ExactValue("Lake Tahoe")])
+        rows = [
+            ("Oregon", "Crater Lake"),
+            ("California", "Lake Tahoe"),
+            ("Montana", "Fort Peck Lake"),
+        ]
+        assert sample.satisfied_by_result(rows)
+        assert not sample.satisfied_by_result(rows[:1])
+        assert not sample.satisfied_by_result([])
+
+
+class TestRestriction:
+    def test_restrict_keeps_selected_positions(self):
+        sample = SampleConstraint([ExactValue("a"), ExactValue("b"), Range(0, 1)])
+        restricted = sample.restrict([0, 2])
+        assert restricted.width == 2
+        assert restricted.cell(0) == ExactValue("a")
+        assert isinstance(restricted.cell(1), Range)
+
+    def test_restrict_to_unconstrained_positions_raises(self):
+        sample = SampleConstraint([ExactValue("a"), None])
+        with pytest.raises(ConstraintError):
+            sample.restrict([1])
+
+
+class TestResolutionAndIntrospection:
+    def test_complete_exact_sample_is_high_resolution(self):
+        sample = SampleConstraint([ExactValue("a"), ExactValue("b")])
+        assert sample.resolution is Resolution.HIGH
+        assert sample.is_complete
+
+    def test_incomplete_sample_is_at_most_medium(self):
+        sample = SampleConstraint([ExactValue("a"), None])
+        assert sample.resolution is Resolution.MEDIUM
+        assert not sample.is_complete
+
+    def test_loosest_cell_dominates(self):
+        sample = SampleConstraint([ExactValue("a"), Range(0, 1)])
+        assert sample.resolution is Resolution.MEDIUM
+
+    def test_describe_and_equality(self):
+        sample = SampleConstraint([ExactValue("a"), None])
+        assert sample.describe() == "a | "
+        assert sample == SampleConstraint([ExactValue("a"), None])
+        assert hash(sample) == hash(SampleConstraint([ExactValue("a"), None]))

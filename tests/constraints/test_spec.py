@@ -1,0 +1,109 @@
+"""Unit tests for mapping specifications."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints.metadata import MetadataField, MetadataPredicate
+from repro.constraints.resolution import Resolution
+from repro.constraints.sample import SampleConstraint
+from repro.constraints.spec import MappingSpec
+from repro.constraints.values import ExactValue, OneOf
+from repro.errors import SpecError
+
+
+def metadata_decimal() -> MetadataPredicate:
+    return MetadataPredicate(MetadataField.DATA_TYPE, "==", "decimal")
+
+
+class TestConstruction:
+    def test_requires_positive_width(self):
+        with pytest.raises(SpecError):
+            MappingSpec(0)
+
+    def test_add_sample_checks_width(self):
+        spec = MappingSpec(3)
+        with pytest.raises(SpecError):
+            spec.add_sample(SampleConstraint([ExactValue("a")]))
+
+    def test_add_sample_requires_sample_constraint(self):
+        spec = MappingSpec(1)
+        with pytest.raises(SpecError):
+            spec.add_sample("not a sample")  # type: ignore[arg-type]
+
+    def test_add_sample_cells_convenience(self):
+        spec = MappingSpec(2).add_sample_cells([ExactValue("a"), None])
+        assert len(spec.samples) == 1
+
+    def test_set_metadata_validates_position(self):
+        spec = MappingSpec(2)
+        with pytest.raises(SpecError):
+            spec.set_metadata(5, metadata_decimal())
+        with pytest.raises(SpecError):
+            spec.set_metadata(-1, metadata_decimal())
+
+    def test_set_metadata_requires_metadata_constraint(self):
+        spec = MappingSpec(2)
+        with pytest.raises(SpecError):
+            spec.set_metadata(0, ExactValue("a"))  # type: ignore[arg-type]
+
+    def test_constructor_accepts_samples_and_metadata(self):
+        spec = MappingSpec(
+            2,
+            samples=[SampleConstraint([ExactValue("a"), None])],
+            metadata={1: metadata_decimal()},
+        )
+        assert len(spec.samples) == 1
+        assert spec.metadata_for(1) is not None
+
+
+class TestIntrospection:
+    def test_value_constraints_for_position(self):
+        spec = MappingSpec(2)
+        spec.add_sample_cells([ExactValue("a"), None])
+        spec.add_sample_cells([OneOf(["b", "c"]), ExactValue("d")])
+        assert len(spec.value_constraints_for(0)) == 2
+        assert len(spec.value_constraints_for(1)) == 1
+
+    def test_constrained_positions_unions_samples_and_metadata(self):
+        spec = MappingSpec(3)
+        spec.add_sample_cells([ExactValue("a"), None, None])
+        spec.set_metadata(2, metadata_decimal())
+        assert spec.constrained_positions() == [0, 2]
+
+    def test_resolution_reflects_loosest_constraint(self):
+        exact_only = MappingSpec(1).add_sample_cells([ExactValue("a")])
+        assert exact_only.resolution is Resolution.HIGH
+        with_metadata = MappingSpec(2).add_sample_cells([ExactValue("a"), None])
+        with_metadata.set_metadata(1, metadata_decimal())
+        assert with_metadata.resolution is Resolution.LOW
+
+    def test_empty_spec_resolution_is_low(self):
+        assert MappingSpec(1).resolution is Resolution.LOW
+
+    def test_describe_lists_everything(self):
+        spec = MappingSpec(2).add_sample_cells([ExactValue("a"), None])
+        spec.set_metadata(1, metadata_decimal())
+        text = spec.describe()
+        assert "target columns: 2" in text
+        assert "sample 1" in text
+        assert "metadata[col 1]" in text
+
+
+class TestValidation:
+    def test_empty_spec_fails_validation(self):
+        with pytest.raises(SpecError):
+            MappingSpec(2).validate()
+
+    def test_spec_with_sample_passes(self):
+        spec = MappingSpec(2).add_sample_cells([ExactValue("a"), None])
+        spec.validate()
+
+    def test_spec_with_only_metadata_passes(self):
+        spec = MappingSpec(1)
+        spec.set_metadata(0, metadata_decimal())
+        spec.validate()
+
+    def test_has_constraints(self):
+        assert not MappingSpec(1).has_constraints()
+        assert MappingSpec(1).add_sample_cells([ExactValue("x")]).has_constraints()

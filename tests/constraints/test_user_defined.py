@@ -1,0 +1,96 @@
+"""Tests for user-defined metadata constraints (the paper's §2.1 extension)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints.metadata import (
+    MetadataConjunction,
+    MetadataField,
+    MetadataPredicate,
+    UserDefinedConstraint,
+)
+from repro.constraints.spec import MappingSpec
+from repro.constraints.values import ExactValue
+from repro.dataset.schema import ColumnRef
+from repro.errors import ConstraintError
+
+
+class TestUserDefinedConstraint:
+    def test_requires_a_callable_and_a_name(self):
+        with pytest.raises(ConstraintError):
+            UserDefinedConstraint("not callable")  # type: ignore[arg-type]
+        with pytest.raises(ConstraintError):
+            UserDefinedConstraint(lambda stats: True, name="  ")
+
+    def test_matches_delegates_to_the_predicate(self, company_prism):
+        stats = company_prism.catalog.stats(ColumnRef("Employee", "Salary"))
+        mostly_unique = UserDefinedConstraint(
+            lambda s: s.distinct_count >= 0.9 * s.non_null_count,
+            name="mostly_unique",
+        )
+        assert mostly_unique.matches(stats)
+        never = UserDefinedConstraint(lambda s: False, name="never")
+        assert not never.matches(stats)
+
+    def test_raising_predicate_is_wrapped(self, company_prism):
+        stats = company_prism.catalog.stats(ColumnRef("Employee", "Salary"))
+        broken = UserDefinedConstraint(lambda s: 1 / 0, name="broken")
+        with pytest.raises(ConstraintError):
+            broken.matches(stats)
+
+    def test_describe_and_equality(self):
+        predicate = lambda s: True  # noqa: E731 - identity matters for the key
+        first = UserDefinedConstraint(predicate, name="always")
+        second = UserDefinedConstraint(predicate, name="always")
+        assert first.describe() == "UDF(always)"
+        assert first == second
+        assert first != UserDefinedConstraint(lambda s: True, name="always")
+
+    def test_composes_with_builtin_predicates(self, company_prism):
+        stats = company_prism.catalog.stats(ColumnRef("Department", "Budget"))
+        constraint = MetadataConjunction(
+            [
+                MetadataPredicate(MetadataField.DATA_TYPE, "==", "decimal"),
+                UserDefinedConstraint(lambda s: s.null_fraction == 0.0,
+                                      name="no_nulls"),
+            ]
+        )
+        assert constraint.matches(stats)
+
+
+class TestUserDefinedConstraintInDiscovery:
+    def test_udf_restricts_related_columns(self, company_prism):
+        # 'looks like a yearly salary': numeric, always above 50k.
+        spec = MappingSpec(2)
+        spec.add_sample_cells([ExactValue("Alice Chen"), None])
+        spec.set_metadata(
+            1,
+            UserDefinedConstraint(
+                lambda s: s.is_numeric and s.min_value is not None
+                and float(s.min_value) > 50_000,
+                name="salary_like",
+            ),
+        )
+        result = company_prism.discover(spec)
+        assert result.num_queries >= 1
+        # Every mapped column must genuinely satisfy the user-defined
+        # predicate (salaries and the two budget columns do; ages, hours and
+        # all text columns do not).
+        allowed = {
+            ColumnRef("Employee", "Salary"),
+            ColumnRef("Department", "Budget"),
+            ColumnRef("Project", "Budget"),
+        }
+        mapped = {query.projections[1] for query in result.queries}
+        assert mapped <= allowed
+        assert ColumnRef("Employee", "Salary") in mapped
+
+    def test_unsatisfiable_udf_yields_no_queries(self, company_prism):
+        spec = MappingSpec(2)
+        spec.add_sample_cells([ExactValue("Alice Chen"), None])
+        spec.set_metadata(
+            1, UserDefinedConstraint(lambda s: False, name="nothing_matches")
+        )
+        result = company_prism.discover(spec)
+        assert result.is_empty

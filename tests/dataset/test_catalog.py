@@ -1,0 +1,100 @@
+"""Unit tests for the metadata catalog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataset.catalog import MetadataCatalog
+from repro.dataset.database import Database
+from repro.dataset.schema import Column, ColumnRef
+from repro.dataset.types import DataType
+from repro.errors import SchemaError
+
+
+@pytest.fixture()
+def catalog(company_db):
+    return MetadataCatalog.build(company_db)
+
+
+class TestNumericStats:
+    def test_min_max_mean(self, catalog):
+        stats = catalog.stats(ColumnRef("Employee", "Salary"))
+        assert stats.min_value == 67_000.0
+        assert stats.max_value == 120_000.0
+        assert stats.mean == pytest.approx(96_166.667, rel=1e-4)
+        assert stats.stddev is not None and stats.stddev > 0
+
+    def test_row_and_distinct_counts(self, catalog):
+        stats = catalog.stats(ColumnRef("Employee", "Age"))
+        assert stats.row_count == 6
+        assert stats.null_count == 0
+        assert stats.distinct_count == 6
+        assert stats.is_numeric
+
+    def test_int_column_type_recorded(self, catalog):
+        assert catalog.stats(ColumnRef("Assignment", "Hours")).data_type is DataType.INT
+
+
+class TestTextStats:
+    def test_max_text_length(self, catalog):
+        stats = catalog.stats(ColumnRef("Project", "Title"))
+        assert stats.max_text_length == len("Query Optimizer")
+        assert stats.mean is None
+
+    def test_min_max_are_lexicographic(self, catalog):
+        stats = catalog.stats(ColumnRef("Department", "Name"))
+        assert stats.min_value == "Engineering"
+        assert stats.max_value == "Sales"
+
+
+class TestNullHandling:
+    def test_null_fraction(self):
+        database = Database("nulls")
+        table = database.create_table(
+            "T", [Column("x", DataType.INT), Column("y", DataType.TEXT)]
+        )
+        table.insert_many([(1, "a"), (None, None), (3, None), (None, "b")])
+        catalog = MetadataCatalog.build(database)
+        assert catalog.stats(ColumnRef("T", "x")).null_count == 2
+        assert catalog.stats(ColumnRef("T", "x")).null_fraction == pytest.approx(0.5)
+        assert catalog.stats(ColumnRef("T", "y")).non_null_count == 2
+
+    def test_all_null_column_has_no_bounds(self):
+        database = Database("allnull")
+        table = database.create_table("T", [Column("x", DataType.DECIMAL)])
+        table.insert_many([(None,), (None,)])
+        catalog = MetadataCatalog.build(database)
+        stats = catalog.stats(ColumnRef("T", "x"))
+        assert stats.min_value is None
+        assert stats.max_value is None
+        assert stats.distinct_count == 0
+
+    def test_empty_table_null_fraction_is_zero(self):
+        database = Database("empty")
+        database.create_table("T", [Column("x", DataType.INT)])
+        catalog = MetadataCatalog.build(database)
+        assert catalog.stats(ColumnRef("T", "x")).null_fraction == 0.0
+
+
+class TestLookups:
+    def test_columns_and_len(self, catalog, company_db):
+        assert len(catalog) == len(company_db.all_column_refs())
+        assert set(catalog.columns()) == set(company_db.all_column_refs())
+
+    def test_columns_of_type(self, catalog):
+        decimal_columns = catalog.columns_of_type(DataType.DECIMAL)
+        assert ColumnRef("Department", "Budget") in decimal_columns
+        assert ColumnRef("Employee", "Name") not in decimal_columns
+
+    def test_table_row_count(self, catalog):
+        assert catalog.table_row_count("Employee") == 6
+        with pytest.raises(SchemaError):
+            catalog.table_row_count("Ghost")
+
+    def test_unknown_column_raises(self, catalog):
+        with pytest.raises(SchemaError):
+            catalog.stats(ColumnRef("Employee", "Ghost"))
+
+    def test_has_column(self, catalog):
+        assert catalog.has_column(ColumnRef("Employee", "Salary"))
+        assert not catalog.has_column(ColumnRef("Employee", "Ghost"))

@@ -1,0 +1,103 @@
+"""Unit tests for the Database container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataset.database import Database
+from repro.dataset.schema import Column, ColumnRef, ForeignKey
+from repro.dataset.types import DataType
+from repro.errors import SchemaError
+
+
+class TestTables:
+    def test_create_and_lookup(self, company_db):
+        assert company_db.has_table("Employee")
+        assert company_db.table("Employee").num_rows == 6
+        assert "Department" in company_db
+
+    def test_table_names_in_registration_order(self, company_db):
+        assert company_db.table_names == [
+            "Department", "Employee", "Project", "Assignment",
+        ]
+
+    def test_duplicate_table_rejected(self, company_db):
+        with pytest.raises(SchemaError):
+            company_db.create_table("Employee", [Column("x", DataType.INT)])
+
+    def test_unknown_table_raises(self, company_db):
+        with pytest.raises(SchemaError):
+            company_db.table("Nothing")
+
+    def test_drop_table_removes_incident_foreign_keys(self, company_db):
+        before = len(company_db.foreign_keys)
+        company_db.drop_table("Assignment")
+        assert not company_db.has_table("Assignment")
+        assert len(company_db.foreign_keys) == before - 2
+
+    def test_drop_unknown_table_raises(self, company_db):
+        with pytest.raises(SchemaError):
+            company_db.drop_table("Ghost")
+
+    def test_iteration_yields_tables(self, company_db):
+        assert {table.name for table in company_db} == set(company_db.table_names)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Database("  ")
+
+
+class TestForeignKeys:
+    def test_link_parses_dotted_names(self, company_db):
+        fk = ForeignKey("Employee", "Department", "Department", "Name")
+        assert fk in company_db.foreign_keys
+
+    def test_link_rejects_malformed_strings(self, company_db):
+        with pytest.raises(SchemaError):
+            company_db.link("Employee", "Department.Name")
+
+    def test_foreign_key_to_unknown_column_rejected(self, company_db):
+        with pytest.raises(SchemaError):
+            company_db.add_foreign_key(
+                ForeignKey("Employee", "Nope", "Department", "Name")
+            )
+
+    def test_foreign_key_to_unknown_table_rejected(self, company_db):
+        with pytest.raises(SchemaError):
+            company_db.add_foreign_key(
+                ForeignKey("Ghost", "x", "Department", "Name")
+            )
+
+    def test_duplicate_foreign_key_is_idempotent(self, company_db):
+        before = len(company_db.foreign_keys)
+        company_db.link("Employee.Department", "Department.Name")
+        assert len(company_db.foreign_keys) == before
+
+    def test_foreign_keys_between(self, company_db):
+        edges = company_db.foreign_keys_between("Assignment", "Project")
+        assert len(edges) == 1
+        assert edges[0].parent_table == "Project"
+        assert company_db.foreign_keys_between("Project", "Assignment") == edges
+
+    def test_foreign_keys_between_unrelated_tables(self, company_db):
+        assert company_db.foreign_keys_between("Department", "Project") == []
+
+
+class TestColumnHelpers:
+    def test_all_column_refs(self, company_db):
+        refs = company_db.all_column_refs()
+        assert ColumnRef("Employee", "Salary") in refs
+        assert len(refs) == 3 + 5 + 3 + 3
+
+    def test_column_resolution(self, company_db):
+        column = company_db.column(ColumnRef("Project", "Budget"))
+        assert column.data_type is DataType.DECIMAL
+
+    def test_column_values(self, company_db):
+        values = company_db.column_values(ColumnRef("Department", "City"))
+        assert values.count("Ann Arbor") == 2
+
+    def test_total_rows_and_summary(self, company_db):
+        assert company_db.total_rows == 4 + 6 + 4 + 7
+        summary = company_db.summary()
+        assert summary["Employee"] == {"columns": 5, "rows": 6}

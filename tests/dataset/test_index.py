@@ -1,0 +1,96 @@
+"""Unit tests for the inverted index."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataset.index import InvertedIndex, Posting, normalize_term
+from repro.dataset.schema import ColumnRef
+
+
+@pytest.fixture()
+def index(company_db):
+    return InvertedIndex.build(company_db)
+
+
+class TestNormalizeTerm:
+    def test_case_folding_and_stripping(self):
+        assert normalize_term("  Lake Tahoe ") == "lake tahoe"
+
+    def test_integral_float_matches_int(self):
+        assert normalize_term(497.0) == normalize_term(497)
+
+    def test_non_integral_float_keeps_fraction(self):
+        assert normalize_term(53.2) == "53.2"
+
+
+class TestBuild:
+    def test_counts(self, index, company_db):
+        non_null_cells = sum(
+            1
+            for table in company_db
+            for row in table.rows
+            for cell in row
+            if cell is not None
+        )
+        assert index.indexed_cells == non_null_cells
+        assert index.num_terms > 0
+
+
+class TestLookup:
+    def test_exact_value_lookup(self, index):
+        postings = index.lookup("Engineering")
+        assert Posting("Department", "Name", 0) in postings
+        # Also appears as Employee.Department values.
+        assert any(p.table == "Employee" for p in postings)
+
+    def test_lookup_is_case_insensitive(self, index):
+        assert index.columns_containing("engineering") == index.columns_containing(
+            "ENGINEERING"
+        )
+
+    def test_token_lookup_finds_word_inside_text(self, index):
+        columns = index.columns_containing("Alice")
+        assert ColumnRef("Employee", "Name") in columns
+
+    def test_token_lookup_can_be_disabled(self, index):
+        assert ColumnRef("Employee", "Name") not in index.columns_containing(
+            "Alice", include_tokens=False
+        )
+
+    def test_numeric_lookup(self, index):
+        columns = index.columns_containing(120000.0)
+        assert ColumnRef("Employee", "Salary") in columns
+
+    def test_missing_value_returns_empty(self, index):
+        assert index.lookup("no such value") == []
+        assert index.columns_containing("no such value") == set()
+
+    def test_columns_containing_any(self, index):
+        columns = index.columns_containing_any(["Engineering", "P3"])
+        assert ColumnRef("Project", "Code") in columns
+        assert ColumnRef("Department", "Name") in columns
+
+    def test_row_indexes(self, index):
+        rows = index.row_indexes(ColumnRef("Employee", "Department"), "Research")
+        assert rows == {3, 4}
+
+    def test_term_frequency(self, index):
+        # 'Engineering' appears once in Department.Name and twice in
+        # Employee.Department.
+        assert index.term_frequency("Engineering") == 3
+
+    def test_column_term_frequency(self, index):
+        assert index.column_term_frequency(
+            ColumnRef("Employee", "Department"), "Engineering"
+        ) == 2
+
+
+class TestPosting:
+    def test_equality_and_hash(self):
+        assert Posting("T", "c", 1) == Posting("T", "c", 1)
+        assert len({Posting("T", "c", 1), Posting("T", "c", 1)}) == 1
+        assert Posting("T", "c", 1) != Posting("T", "c", 2)
+
+    def test_column_ref(self):
+        assert Posting("T", "c", 0).column_ref == ColumnRef("T", "c")

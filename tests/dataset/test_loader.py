@@ -1,0 +1,78 @@
+"""Unit tests for CSV save/load round-tripping."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.dataset.loader import MANIFEST_NAME, load_database, save_database
+from repro.errors import DataError
+
+
+class TestRoundTrip:
+    def test_round_trip_preserves_structure_and_rows(self, company_db, tmp_path):
+        save_database(company_db, tmp_path)
+        reloaded = load_database(tmp_path)
+        assert reloaded.name == company_db.name
+        assert set(reloaded.table_names) == set(company_db.table_names)
+        for table in company_db:
+            assert reloaded.table(table.name).num_rows == table.num_rows
+            assert reloaded.table(table.name).column_names == table.column_names
+
+    def test_round_trip_preserves_values_and_types(self, company_db, tmp_path):
+        save_database(company_db, tmp_path)
+        reloaded = load_database(tmp_path)
+        original = sorted(company_db.table("Employee").rows)
+        restored = sorted(reloaded.table("Employee").rows)
+        assert restored == original
+
+    def test_round_trip_preserves_foreign_keys(self, company_db, tmp_path):
+        save_database(company_db, tmp_path)
+        reloaded = load_database(tmp_path)
+        assert set(
+            (fk.child_table, fk.child_column, fk.parent_table, fk.parent_column)
+            for fk in reloaded.foreign_keys
+        ) == set(
+            (fk.child_table, fk.child_column, fk.parent_table, fk.parent_column)
+            for fk in company_db.foreign_keys
+        )
+
+    def test_null_cells_round_trip(self, tmp_path):
+        from repro.dataset import Column, Database, DataType
+
+        database = Database("nulls")
+        table = database.create_table(
+            "T", [Column("a", DataType.TEXT), Column("b", DataType.INT)]
+        )
+        table.insert_many([("x", 1), (None, None)])
+        save_database(database, tmp_path)
+        reloaded = load_database(tmp_path)
+        assert reloaded.table("T").rows[1] == (None, None)
+
+    def test_mondial_round_trips(self, mondial_db, tmp_path):
+        save_database(mondial_db, tmp_path)
+        reloaded = load_database(tmp_path)
+        assert reloaded.total_rows == mondial_db.total_rows
+
+
+class TestErrors:
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(DataError):
+            load_database(tmp_path)
+
+    def test_manifest_missing_keys(self, tmp_path):
+        (tmp_path / MANIFEST_NAME).write_text(json.dumps({"tables": {}}))
+        with pytest.raises(DataError):
+            load_database(tmp_path)
+
+    def test_missing_csv_file(self, company_db, tmp_path):
+        save_database(company_db, tmp_path)
+        (tmp_path / "Employee.csv").unlink()
+        with pytest.raises(DataError):
+            load_database(tmp_path)
+
+    def test_save_returns_manifest_path(self, company_db, tmp_path):
+        manifest_path = save_database(company_db, tmp_path / "out")
+        assert manifest_path.name == MANIFEST_NAME
+        assert manifest_path.exists()

@@ -1,0 +1,80 @@
+"""Unit tests for schema value objects."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataset.schema import Column, ColumnRef, ForeignKey
+from repro.dataset.types import DataType
+from repro.errors import SchemaError
+
+
+class TestColumn:
+    def test_basic_construction(self):
+        column = Column("Name", DataType.TEXT)
+        assert column.name == "Name"
+        assert column.nullable is True
+        assert column.primary_key is False
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("", DataType.TEXT)
+        with pytest.raises(SchemaError):
+            Column("   ", DataType.TEXT)
+
+    def test_data_type_must_be_enum(self):
+        with pytest.raises(SchemaError):
+            Column("Name", "text")  # type: ignore[arg-type]
+
+    def test_columns_are_hashable_and_equal_by_value(self):
+        assert Column("a", DataType.INT) == Column("a", DataType.INT)
+        assert hash(Column("a", DataType.INT)) == hash(Column("a", DataType.INT))
+
+
+class TestColumnRef:
+    def test_str_rendering(self):
+        assert str(ColumnRef("Lake", "Area")) == "Lake.Area"
+
+    def test_empty_parts_rejected(self):
+        with pytest.raises(SchemaError):
+            ColumnRef("", "Area")
+        with pytest.raises(SchemaError):
+            ColumnRef("Lake", "")
+
+    def test_ordering_is_lexicographic(self):
+        refs = sorted([ColumnRef("B", "x"), ColumnRef("A", "z"), ColumnRef("A", "a")])
+        assert refs == [ColumnRef("A", "a"), ColumnRef("A", "z"), ColumnRef("B", "x")]
+
+    def test_hashable(self):
+        assert len({ColumnRef("T", "c"), ColumnRef("T", "c")}) == 1
+
+
+class TestForeignKey:
+    def test_refs_and_tables(self):
+        fk = ForeignKey("Employee", "Department", "Department", "Name")
+        assert fk.child_ref == ColumnRef("Employee", "Department")
+        assert fk.parent_ref == ColumnRef("Department", "Name")
+        assert fk.tables() == ("Employee", "Department")
+
+    def test_self_reference_rejected(self):
+        with pytest.raises(SchemaError):
+            ForeignKey("T", "c", "T", "c")
+
+    def test_same_table_different_columns_allowed(self):
+        fk = ForeignKey("Employee", "ManagerId", "Employee", "Id")
+        assert fk.child_table == fk.parent_table
+
+    def test_empty_component_rejected(self):
+        with pytest.raises(SchemaError):
+            ForeignKey("", "c", "P", "k")
+        with pytest.raises(SchemaError):
+            ForeignKey("C", "", "P", "k")
+
+    def test_name_does_not_affect_equality(self):
+        first = ForeignKey("A", "x", "B", "y", name="fk1")
+        second = ForeignKey("A", "x", "B", "y", name="fk2")
+        assert first == second
+
+    def test_str_is_readable(self):
+        fk = ForeignKey("geo_lake", "Lake", "Lake", "Name")
+        assert str(fk) == "geo_lake.Lake -> Lake.Name"

@@ -1,0 +1,106 @@
+"""Unit tests for the schema graph and join-tree enumeration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataset.schema_graph import SchemaGraph
+from repro.errors import SchemaError
+
+
+@pytest.fixture()
+def graph(company_db):
+    return SchemaGraph(company_db)
+
+
+class TestBasicQueries:
+    def test_tables_are_nodes(self, graph, company_db):
+        assert set(graph.tables) == set(company_db.table_names)
+
+    def test_neighbors(self, graph):
+        assert graph.neighbors("Employee") == {"Department", "Assignment"}
+        assert graph.neighbors("Project") == {"Assignment"}
+
+    def test_neighbors_unknown_table(self, graph):
+        with pytest.raises(SchemaError):
+            graph.neighbors("Ghost")
+
+    def test_join_edges_between(self, graph):
+        edges = graph.join_edges("Assignment", "Employee")
+        assert len(edges) == 1
+        assert edges[0].child_column == "EmployeeId"
+        assert graph.join_edges("Department", "Project") == []
+        assert graph.join_edges("Department", "Ghost") == []
+
+    def test_incident_foreign_keys(self, graph):
+        assert len(graph.incident_foreign_keys("Assignment")) == 2
+        assert len(graph.incident_foreign_keys("Department")) == 1
+
+    def test_is_connected(self, graph):
+        assert graph.is_connected(["Department", "Project"])
+        assert graph.is_connected([])
+
+    def test_distance(self, graph):
+        assert graph.distance("Department", "Department") == 0
+        assert graph.distance("Department", "Employee") == 1
+        assert graph.distance("Department", "Project") == 3
+
+
+class TestJoinTrees:
+    def test_single_table_yields_empty_tree(self, graph):
+        trees = graph.join_trees(["Employee"])
+        assert () in trees
+
+    def test_two_adjacent_tables(self, graph):
+        trees = graph.join_trees(["Employee", "Department"], max_tables=2)
+        assert len(trees) == 1
+        assert len(trees[0]) == 1
+        assert set(trees[0][0].tables()) == {"Employee", "Department"}
+
+    def test_distant_tables_route_through_intermediates(self, graph):
+        trees = graph.join_trees(["Department", "Project"])
+        assert trees, "expected at least one connecting tree"
+        smallest = trees[0]
+        tables = SchemaGraph.tree_tables(smallest)
+        assert {"Department", "Employee", "Assignment", "Project"} == tables
+        assert len(smallest) == 3
+
+    def test_max_tables_bound_excludes_long_paths(self, graph):
+        trees = graph.join_trees(["Department", "Project"], max_tables=3)
+        assert trees == []
+
+    def test_max_trees_limits_output(self, graph):
+        unlimited = graph.join_trees(["Employee", "Assignment"], max_tables=4)
+        limited = graph.join_trees(["Employee", "Assignment"], max_tables=4, max_trees=1)
+        assert len(limited) == 1
+        assert len(unlimited) >= len(limited)
+
+    def test_trees_are_sorted_smallest_first(self, graph):
+        trees = graph.join_trees(["Employee", "Assignment"], max_tables=4)
+        sizes = [len(tree) for tree in trees]
+        assert sizes == sorted(sizes)
+
+    def test_unknown_required_table_raises(self, graph):
+        with pytest.raises(SchemaError):
+            graph.join_trees(["Ghost"])
+
+    def test_empty_requirement_returns_empty_tree(self, graph):
+        assert graph.join_trees([]) == [()]
+
+    def test_every_tree_is_acyclic_and_spans_required(self, graph):
+        required = {"Department", "Assignment"}
+        for tree in graph.join_trees(required, max_tables=4):
+            tables = SchemaGraph.tree_tables(tree)
+            assert required <= tables
+            # A tree over n tables has n - 1 edges.
+            assert len(tree) == len(tables) - 1
+
+    def test_disconnected_tables_give_no_tree(self, company_db):
+        from repro.dataset.schema import Column
+        from repro.dataset.types import DataType
+
+        company_db.create_table("Island", [Column("x", DataType.INT)])
+        graph = SchemaGraph(company_db)
+        assert graph.join_trees(["Island", "Employee"]) == []
+        assert not graph.is_connected(["Island", "Employee"])
+        assert graph.distance("Island", "Employee") is None

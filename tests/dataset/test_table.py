@@ -1,0 +1,120 @@
+"""Unit tests for in-memory table storage."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataset.schema import Column
+from repro.dataset.table import Table
+from repro.dataset.types import DataType
+from repro.errors import DataError, SchemaError
+
+
+@pytest.fixture()
+def lakes_table() -> Table:
+    table = Table(
+        "Lake",
+        [
+            Column("Name", DataType.TEXT, nullable=False),
+            Column("Area", DataType.DECIMAL),
+            Column("Depth", DataType.DECIMAL),
+        ],
+    )
+    table.insert_many(
+        [
+            ("Lake Tahoe", 497.0, 501.0),
+            ("Crater Lake", 53.2, 594.0),
+            ("Mono Lake", 183.0, None),
+        ]
+    )
+    return table
+
+
+class TestTableConstruction:
+    def test_requires_name_and_columns(self):
+        with pytest.raises(SchemaError):
+            Table("", [Column("a", DataType.INT)])
+        with pytest.raises(SchemaError):
+            Table("T", [])
+
+    def test_duplicate_column_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Table("T", [Column("a", DataType.INT), Column("a", DataType.TEXT)])
+
+    def test_column_lookup(self, lakes_table):
+        assert lakes_table.column("Area").data_type is DataType.DECIMAL
+        assert lakes_table.column_position("Depth") == 2
+        assert lakes_table.has_column("Name")
+        assert not lakes_table.has_column("Altitude")
+
+    def test_unknown_column_raises(self, lakes_table):
+        with pytest.raises(SchemaError):
+            lakes_table.column("Missing")
+        with pytest.raises(SchemaError):
+            lakes_table.column_position("Missing")
+
+    def test_column_names_preserve_order(self, lakes_table):
+        assert lakes_table.column_names == ("Name", "Area", "Depth")
+
+
+class TestInsert:
+    def test_row_count_and_iteration(self, lakes_table):
+        assert lakes_table.num_rows == 3
+        assert len(lakes_table) == 3
+        assert list(lakes_table)[0] == ("Lake Tahoe", 497.0, 501.0)
+
+    def test_wrong_arity_rejected(self, lakes_table):
+        with pytest.raises(DataError):
+            lakes_table.insert(("Extra", 1.0))
+
+    def test_type_mismatch_rejected(self, lakes_table):
+        with pytest.raises(DataError):
+            lakes_table.insert(("Lake X", "not a number", 10.0))
+
+    def test_int_accepted_in_decimal_column(self, lakes_table):
+        lakes_table.insert(("Lake Y", 100, 5.0))
+        assert lakes_table.cell(3, "Area") == 100.0
+        assert isinstance(lakes_table.cell(3, "Area"), float)
+
+    def test_null_in_non_nullable_column_rejected(self, lakes_table):
+        with pytest.raises(DataError):
+            lakes_table.insert((None, 10.0, 5.0))
+
+    def test_null_in_nullable_column_accepted(self, lakes_table):
+        lakes_table.insert(("Lake Z", None, None))
+        assert lakes_table.cell(3, "Area") is None
+
+    def test_coerce_mode_converts_strings(self):
+        table = Table("T", [Column("n", DataType.INT)])
+        table.insert(("17",), coerce=True)
+        assert table.rows[0] == (17,)
+
+    def test_insert_many_returns_count(self, lakes_table):
+        added = lakes_table.insert_many([("A Lake", 1.0, 1.0), ("B Lake", 2.0, 2.0)])
+        assert added == 2
+        assert lakes_table.num_rows == 5
+
+
+class TestAccess:
+    def test_cell_access(self, lakes_table):
+        assert lakes_table.cell(0, "Name") == "Lake Tahoe"
+        assert lakes_table.cell(2, "Depth") is None
+
+    def test_column_values_include_nulls(self, lakes_table):
+        assert lakes_table.column_values("Depth") == [501.0, 594.0, None]
+
+    def test_distinct_values_exclude_nulls(self, lakes_table):
+        assert lakes_table.distinct_values("Depth") == {501.0, 594.0}
+
+    def test_select_projection(self, lakes_table):
+        rows = lakes_table.select(columns=["Name"])
+        assert ("Crater Lake",) in rows
+        assert all(len(row) == 1 for row in rows)
+
+    def test_select_with_where(self, lakes_table):
+        rows = lakes_table.select(columns=["Area"], where={"Name": "Lake Tahoe"})
+        assert rows == [(497.0,)]
+
+    def test_select_all_columns_by_default(self, lakes_table):
+        rows = lakes_table.select(where={"Name": "Mono Lake"})
+        assert rows == [("Mono Lake", 183.0, None)]

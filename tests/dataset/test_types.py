@@ -1,0 +1,157 @@
+"""Unit tests for data types, detection and coercion."""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+
+from repro.dataset.types import (
+    DataType,
+    coerce_value,
+    detect_type,
+    infer_column_type,
+    parse_date,
+    parse_time,
+    values_comparable,
+)
+from repro.errors import DataError
+
+
+class TestDataTypeEnum:
+    def test_from_name_canonical(self):
+        assert DataType.from_name("int") is DataType.INT
+        assert DataType.from_name("decimal") is DataType.DECIMAL
+        assert DataType.from_name("text") is DataType.TEXT
+        assert DataType.from_name("date") is DataType.DATE
+        assert DataType.from_name("time") is DataType.TIME
+
+    def test_from_name_aliases(self):
+        assert DataType.from_name("integer") is DataType.INT
+        assert DataType.from_name("float") is DataType.DECIMAL
+        assert DataType.from_name("varchar") is DataType.TEXT
+        assert DataType.from_name("bool") is DataType.BOOLEAN
+
+    def test_from_name_is_case_insensitive(self):
+        assert DataType.from_name("DECIMAL") is DataType.DECIMAL
+        assert DataType.from_name("  Text ") is DataType.TEXT
+
+    def test_from_name_unknown_raises(self):
+        with pytest.raises(DataError):
+            DataType.from_name("blob")
+
+    def test_is_numeric(self):
+        assert DataType.INT.is_numeric
+        assert DataType.DECIMAL.is_numeric
+        assert not DataType.TEXT.is_numeric
+        assert not DataType.DATE.is_numeric
+
+
+class TestDetectType:
+    def test_none_is_null(self):
+        assert detect_type(None) is None
+
+    def test_bool_detected_before_int(self):
+        assert detect_type(True) is DataType.BOOLEAN
+
+    def test_int_and_float(self):
+        assert detect_type(42) is DataType.INT
+        assert detect_type(3.14) is DataType.DECIMAL
+
+    def test_text(self):
+        assert detect_type("Lake Tahoe") is DataType.TEXT
+
+    def test_date_and_time(self):
+        assert detect_type(datetime.date(2020, 1, 1)) is DataType.DATE
+        assert detect_type(datetime.time(10, 30)) is DataType.TIME
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(DataError):
+            detect_type([1, 2, 3])
+
+
+class TestInferColumnType:
+    def test_all_int(self):
+        assert infer_column_type([1, 2, 3]) is DataType.INT
+
+    def test_int_widened_to_decimal(self):
+        assert infer_column_type([1, 2.5, 3]) is DataType.DECIMAL
+
+    def test_mixed_falls_back_to_text(self):
+        assert infer_column_type([1, "two", 3.0]) is DataType.TEXT
+
+    def test_all_null_defaults_to_text(self):
+        assert infer_column_type([None, None]) is DataType.TEXT
+
+    def test_nulls_are_ignored(self):
+        assert infer_column_type([None, 5, None]) is DataType.INT
+
+
+class TestCoerceValue:
+    def test_none_passthrough(self):
+        assert coerce_value(None, DataType.INT) is None
+
+    def test_int_from_string(self):
+        assert coerce_value(" 42 ", DataType.INT) == 42
+
+    def test_decimal_from_string(self):
+        assert coerce_value("3.5", DataType.DECIMAL) == pytest.approx(3.5)
+
+    def test_decimal_from_int(self):
+        value = coerce_value(7, DataType.DECIMAL)
+        assert isinstance(value, float) and value == 7.0
+
+    def test_text_from_number(self):
+        assert coerce_value(12, DataType.TEXT) == "12"
+
+    def test_date_from_string(self):
+        assert coerce_value("2020-06-14", DataType.DATE) == datetime.date(2020, 6, 14)
+
+    def test_time_from_string(self):
+        assert coerce_value("09:30", DataType.TIME) == datetime.time(9, 30)
+
+    def test_boolean_from_text(self):
+        assert coerce_value("yes", DataType.BOOLEAN) is True
+        assert coerce_value("0", DataType.BOOLEAN) is False
+
+    def test_bad_int_raises(self):
+        with pytest.raises(DataError):
+            coerce_value("not a number", DataType.INT)
+
+    def test_bad_boolean_raises(self):
+        with pytest.raises(DataError):
+            coerce_value("perhaps", DataType.BOOLEAN)
+
+
+class TestParseDateTime:
+    def test_parse_date_formats(self):
+        assert parse_date("2021-03-04") == datetime.date(2021, 3, 4)
+        assert parse_date("2021/03/04") == datetime.date(2021, 3, 4)
+        assert parse_date("04.03.2021") == datetime.date(2021, 3, 4)
+
+    def test_parse_date_invalid(self):
+        with pytest.raises(DataError):
+            parse_date("yesterday")
+
+    def test_parse_time_formats(self):
+        assert parse_time("10:15:30") == datetime.time(10, 15, 30)
+        assert parse_time("10:15") == datetime.time(10, 15)
+
+    def test_parse_time_invalid(self):
+        with pytest.raises(DataError):
+            parse_time("noon")
+
+
+class TestValuesComparable:
+    def test_numerics_are_comparable(self):
+        assert values_comparable(1, 2.5)
+
+    def test_none_is_never_comparable(self):
+        assert not values_comparable(None, 3)
+        assert not values_comparable("a", None)
+
+    def test_mixed_types_are_not_comparable(self):
+        assert not values_comparable("a", 3)
+
+    def test_same_type_is_comparable(self):
+        assert values_comparable("a", "b")

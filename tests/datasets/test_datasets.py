@@ -1,0 +1,159 @@
+"""Unit tests for the bundled synthetic databases."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataset.schema import ColumnRef
+from repro.dataset.schema_graph import SchemaGraph
+from repro.datasets import (
+    available_databases,
+    generate_synthetic_database,
+    load_database_by_name,
+    load_imdb,
+    load_mondial,
+    load_nba,
+)
+from repro.errors import WorkloadError
+
+
+class TestRegistry:
+    def test_available_databases(self):
+        assert available_databases() == ["imdb", "mondial", "nba"]
+
+    def test_load_by_name_is_case_insensitive(self):
+        assert load_database_by_name("Mondial").name == "mondial"
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            load_database_by_name("oracle")
+
+
+class TestMondial:
+    def test_schema_shape(self, mondial_db):
+        assert {"Country", "Province", "City", "Lake", "geo_lake", "River",
+                "geo_river", "Mountain", "geo_mountain"} == set(mondial_db.table_names)
+        assert len(mondial_db.foreign_keys) == 12
+
+    def test_motivating_example_entities_are_present(self, mondial_db):
+        lake = mondial_db.table("Lake")
+        rows = lake.select(columns=["Area"], where={"Name": "Lake Tahoe"})
+        assert rows == [(497.0,)]
+        geo = mondial_db.table("geo_lake")
+        provinces = {row[0] for row in geo.select(columns=["Province"],
+                                                  where={"Lake": "Lake Tahoe"})}
+        assert provinces == {"California", "Nevada"}
+
+    def test_every_geo_lake_row_references_an_existing_lake(self, mondial_db):
+        lakes = mondial_db.table("Lake").distinct_values("Name")
+        for (lake_name,) in mondial_db.table("geo_lake").select(columns=["Lake"]):
+            assert lake_name in lakes
+
+    def test_provinces_reference_existing_countries(self, mondial_db):
+        countries = mondial_db.table("Country").distinct_values("Name")
+        for (country,) in mondial_db.table("Province").select(columns=["Country"]):
+            assert country in countries
+
+    def test_schema_graph_is_connected(self, mondial_db):
+        graph = SchemaGraph(mondial_db)
+        assert graph.is_connected(mondial_db.table_names)
+
+    def test_generation_is_deterministic(self):
+        assert load_mondial(seed=7).total_rows == load_mondial(seed=7).total_rows
+        first = load_mondial(seed=7).table("Province").rows
+        second = load_mondial(seed=7).table("Province").rows
+        assert first == second
+
+    def test_size_parameters_scale_content(self):
+        small = load_mondial(extra_lakes=5, extra_rivers=5, extra_mountains=5)
+        assert small.table("Lake").num_rows < load_mondial().table("Lake").num_rows
+
+
+class TestImdb:
+    def test_schema_and_links(self, imdb_db):
+        assert {"Movie", "Person", "Cast", "Directs", "Genre", "MovieGenre"} == set(
+            imdb_db.table_names
+        )
+        assert len(imdb_db.foreign_keys) == 6
+
+    def test_cast_references_are_consistent(self, imdb_db):
+        movie_ids = imdb_db.table("Movie").distinct_values("Id")
+        person_ids = imdb_db.table("Person").distinct_values("Id")
+        for movie_id, person_id in imdb_db.table("Cast").select(
+            columns=["MovieId", "PersonId"]
+        ):
+            assert movie_id in movie_ids
+            assert person_id in person_ids
+
+    def test_known_movie_present(self, imdb_db):
+        rows = imdb_db.table("Movie").select(columns=["Year"],
+                                             where={"Title": "Inception"})
+        assert rows == [(2010,)]
+
+    def test_ratings_are_bounded(self, imdb_db):
+        ratings = [r for r in imdb_db.table("Movie").column_values("Rating")]
+        assert all(0.0 <= rating <= 10.0 for rating in ratings)
+
+
+class TestNba:
+    def test_schema_and_links(self, nba_db):
+        assert {"Team", "Player", "Coach", "Game"} == set(nba_db.table_names)
+        assert len(nba_db.foreign_keys) == 4
+
+    def test_players_reference_existing_teams(self, nba_db):
+        teams = nba_db.table("Team").distinct_values("Name")
+        for (team,) in nba_db.table("Player").select(columns=["Team"]):
+            assert team in teams
+
+    def test_games_never_pair_a_team_with_itself(self, nba_db):
+        for home, away in nba_db.table("Game").select(columns=["HomeTeam", "AwayTeam"]):
+            assert home != away
+
+    def test_known_player_present(self, nba_db):
+        rows = nba_db.table("Player").select(columns=["Team"],
+                                             where={"Name": "LeBron James"})
+        assert rows == [("Lakers",)]
+
+
+class TestSyntheticGenerator:
+    def test_chain_topology(self):
+        database = generate_synthetic_database(num_tables=4, rows_per_table=50,
+                                               topology="chain", seed=1)
+        assert len(database.table_names) == 4
+        assert len(database.foreign_keys) == 3
+        graph = SchemaGraph(database)
+        assert graph.distance("T0", "T3") == 3
+
+    def test_star_topology(self):
+        database = generate_synthetic_database(num_tables=5, topology="star", seed=2)
+        graph = SchemaGraph(database)
+        assert all(graph.distance("T0", f"T{i}") == 1 for i in range(1, 5))
+
+    def test_random_topology_is_connected(self):
+        database = generate_synthetic_database(num_tables=6, topology="random", seed=3)
+        graph = SchemaGraph(database)
+        assert graph.is_connected(database.table_names)
+
+    def test_foreign_keys_resolve(self):
+        database = generate_synthetic_database(num_tables=3, rows_per_table=30, seed=4)
+        parent_ids = database.table("T0").distinct_values("id")
+        for (parent_id,) in database.table("T1").select(columns=["parent_id"]):
+            assert parent_id in parent_ids
+
+    def test_determinism(self):
+        first = generate_synthetic_database(seed=9).table("T1").rows
+        second = generate_synthetic_database(seed=9).table("T1").rows
+        assert first == second
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(WorkloadError):
+            generate_synthetic_database(num_tables=0)
+        with pytest.raises(WorkloadError):
+            generate_synthetic_database(rows_per_table=0)
+        with pytest.raises(WorkloadError):
+            generate_synthetic_database(topology="ring")
+
+    def test_single_table_database(self):
+        database = generate_synthetic_database(num_tables=1, rows_per_table=10)
+        assert database.foreign_keys == []
+        assert database.table("T0").num_rows == 10

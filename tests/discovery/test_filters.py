@@ -1,0 +1,142 @@
+"""Unit tests for filter decomposition and the dependency DAG."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.constraints.spec import MappingSpec
+from repro.constraints.values import ExactValue
+from repro.dataset.schema import ColumnRef, ForeignKey
+from repro.discovery.candidates import CandidateQuery
+from repro.discovery.filters import build_filters
+from repro.query.pj_query import ProjectJoinQuery
+
+
+EMP_DEPT = ForeignKey("Employee", "Department", "Department", "Name")
+ASSIGN_EMP = ForeignKey("Assignment", "EmployeeId", "Employee", "Id")
+ASSIGN_PROJ = ForeignKey("Assignment", "ProjectCode", "Project", "Code")
+
+
+def chain_candidate(candidate_id: int = 0) -> CandidateQuery:
+    """Department.Name and Project.Title joined through Employee/Assignment."""
+    query = ProjectJoinQuery(
+        (ColumnRef("Department", "Name"), ColumnRef("Project", "Title")),
+        (EMP_DEPT, ASSIGN_EMP, ASSIGN_PROJ),
+    )
+    return CandidateQuery(id=candidate_id, query=query)
+
+
+def single_table_candidate(candidate_id: int = 0) -> CandidateQuery:
+    query = ProjectJoinQuery(
+        (ColumnRef("Employee", "Name"), ColumnRef("Employee", "Salary"))
+    )
+    return CandidateQuery(id=candidate_id, query=query)
+
+
+def spec_two_columns() -> MappingSpec:
+    spec = MappingSpec(2)
+    spec.add_sample_cells([ExactValue("Engineering"), ExactValue("Query Optimizer")])
+    return spec
+
+
+class TestDecomposition:
+    def test_single_table_candidate_has_one_filter(self):
+        spec = MappingSpec(2)
+        spec.add_sample_cells([ExactValue("Alice Chen"), ExactValue(120000)])
+        filter_set = build_filters(spec, [single_table_candidate()])
+        assert filter_set.num_filters == 1
+        only = filter_set.filters[0]
+        assert only.positions == (0, 1)
+        assert only.join_size == 0
+        assert filter_set.candidate_tops[0][0] == only.id
+
+    def test_chain_candidate_produces_subtree_filters(self):
+        filter_set = build_filters(spec_two_columns(), [chain_candidate()])
+        # Sub-filters include the single-table probes on Department and
+        # Project plus growing subtrees and the full top filter.
+        sizes = {filter_.num_tables for filter_ in filter_set.filters}
+        assert 1 in sizes and 4 in sizes
+        top_id = filter_set.candidate_tops[0][0]
+        top = filter_set.filter(top_id)
+        assert top.num_tables == 4
+        assert top.positions == (0, 1)
+
+    def test_subtrees_without_constrained_columns_are_skipped(self):
+        filter_set = build_filters(spec_two_columns(), [chain_candidate()])
+        for filter_ in filter_set.filters:
+            assert filter_.positions, "every filter must check at least one cell"
+
+    def test_filters_are_shared_between_candidates(self):
+        first = chain_candidate(0)
+        # Second candidate: same Department projection, different second column
+        # but sharing the Department single-table probe.
+        second_query = ProjectJoinQuery(
+            (ColumnRef("Department", "Name"), ColumnRef("Employee", "Name")),
+            (EMP_DEPT,),
+        )
+        spec = MappingSpec(2)
+        spec.add_sample_cells([ExactValue("Engineering"), ExactValue("Alice")])
+        filter_set = build_filters(spec, [first, CandidateQuery(1, second_query)])
+        shared = [
+            filter_
+            for filter_ in filter_set.filters
+            if filter_.candidate_ids == {0, 1}
+        ]
+        assert shared, "the Department-only probe should be shared"
+
+    def test_one_filter_group_per_sample(self):
+        spec = MappingSpec(2)
+        spec.add_sample_cells([ExactValue("Engineering"), ExactValue("Query Optimizer")])
+        spec.add_sample_cells([ExactValue("Research"), ExactValue("Schema Mapping")])
+        filter_set = build_filters(spec, [chain_candidate()])
+        samples = {filter_.sample_index for filter_ in filter_set.filters}
+        assert samples == {0, 1}
+        assert set(filter_set.candidate_tops[0]) == {0, 1}
+
+    def test_no_samples_means_no_filters(self):
+        spec = MappingSpec(2)
+        filter_set = build_filters(spec, [chain_candidate()])
+        assert filter_set.num_filters == 0
+
+    def test_partial_sample_only_constrains_its_positions(self):
+        spec = MappingSpec(2)
+        spec.add_sample_cells([ExactValue("Engineering"), None])
+        filter_set = build_filters(spec, [chain_candidate()])
+        top = filter_set.filter(filter_set.candidate_tops[0][0])
+        assert top.positions == (0,)
+
+
+class TestContainment:
+    def test_ancestors_and_descendants(self):
+        filter_set = build_filters(spec_two_columns(), [chain_candidate()])
+        top_id = filter_set.candidate_tops[0][0]
+        single_table = [
+            filter_
+            for filter_ in filter_set.filters
+            if filter_.num_tables == 1 and filter_.positions == (0,)
+        ]
+        assert single_table
+        probe = single_table[0]
+        assert top_id in filter_set.ancestors(probe.id)
+        assert probe.id in filter_set.descendants(top_id)
+
+    def test_containment_requires_same_sample(self):
+        spec = MappingSpec(2)
+        spec.add_sample_cells([ExactValue("Engineering"), ExactValue("Query Optimizer")])
+        spec.add_sample_cells([ExactValue("Research"), ExactValue("Schema Mapping")])
+        filter_set = build_filters(spec, [chain_candidate()])
+        for filter_ in filter_set.filters:
+            for ancestor_id in filter_set.ancestors(filter_.id):
+                assert filter_set.filter(ancestor_id).sample_index == filter_.sample_index
+
+    def test_contains_is_reflexive_on_structure_but_excluded_from_dag(self):
+        filter_set = build_filters(spec_two_columns(), [chain_candidate()])
+        for filter_ in filter_set.filters:
+            assert filter_.contains(filter_)
+            assert filter_.id not in filter_set.ancestors(filter_.id)
+            assert filter_.id not in filter_set.descendants(filter_.id)
+
+    def test_top_filter_ids(self):
+        filter_set = build_filters(spec_two_columns(), [chain_candidate()])
+        tops = filter_set.top_filter_ids()
+        assert filter_set.candidate_tops[0][0] in tops

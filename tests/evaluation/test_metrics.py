@@ -1,0 +1,91 @@
+"""Unit tests for evaluation metrics and text reporting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.metrics import (
+    gap_reduction,
+    gap_to_optimal,
+    mean,
+    median,
+    summarize,
+)
+from repro.evaluation.reporting import format_table, format_value
+
+
+class TestGapMetrics:
+    def test_gap_to_optimal(self):
+        assert gap_to_optimal(130, 100) == 30
+        assert gap_to_optimal(100, 100) == 0
+        # A scheduler can never beat the oracle, but guard against noise.
+        assert gap_to_optimal(90, 100) == 0
+
+    def test_gap_reduction_full_and_partial(self):
+        assert gap_reduction(200, 100, 100) == pytest.approx(1.0)
+        assert gap_reduction(200, 150, 100) == pytest.approx(0.5)
+        assert gap_reduction(200, 200, 100) == pytest.approx(0.0)
+
+    def test_gap_reduction_undefined_when_baseline_is_optimal(self):
+        assert gap_reduction(100, 100, 100) is None
+
+    def test_gap_reduction_matches_paper_shape(self):
+        # "up to ~70%": baseline gap 100, prism gap 30.
+        assert gap_reduction(200, 130, 100) == pytest.approx(0.7)
+
+
+class TestSummaryStatistics:
+    def test_mean_and_median(self):
+        assert mean([1, 2, 3]) == pytest.approx(2.0)
+        assert median([1, 2, 100]) == 2
+        assert mean([]) == 0.0
+        assert median([]) == 0.0
+
+    def test_mean_accepts_generators(self):
+        assert mean(x for x in (2.0, 4.0)) == pytest.approx(3.0)
+
+    def test_summarize(self):
+        summary = summarize([4.0, 1.0, 3.0])
+        assert summary["mean"] == pytest.approx(8 / 3)
+        assert summary["min"] == 1.0
+        assert summary["max"] == 4.0
+        assert summary["count"] == 3
+
+    def test_summarize_empty(self):
+        assert summarize([])["count"] == 0
+
+
+class TestReporting:
+    def test_format_value(self):
+        assert format_value(None) == "-"
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+        assert format_value(1.23456) == "1.235"
+        assert format_value("text") == "text"
+        assert format_value(7) == "7"
+
+    def test_format_table_alignment_and_headers(self):
+        rows = [
+            {"level": "exact", "time": 0.5, "queries": 3},
+            {"level": "disjunct", "time": 0.75, "queries": 4},
+        ]
+        table = format_table(rows, title="E1")
+        lines = table.splitlines()
+        assert lines[0] == "E1"
+        assert lines[1].startswith("level")
+        assert len(lines) == 2 + 1 + 2  # title + header + separator + rows
+        assert "disjunct" in lines[-1]
+
+    def test_format_table_respects_explicit_columns(self):
+        rows = [{"a": 1, "b": 2}]
+        table = format_table(rows, columns=["b"])
+        assert "a" not in table.splitlines()[0]
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"
+        assert format_table([], title="T").startswith("T")
+
+    def test_format_table_handles_missing_cells(self):
+        rows = [{"a": 1, "b": 2}, {"a": 3}]
+        table = format_table(rows)
+        assert "-" in table.splitlines()[-1]

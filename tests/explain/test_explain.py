@@ -1,0 +1,127 @@
+"""Unit tests for query explanation graphs and renderers."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.constraints.parser import parse_metadata_constraint, parse_value_constraint
+from repro.constraints.spec import MappingSpec
+from repro.dataset.schema import ColumnRef, ForeignKey
+from repro.explain.graph import (
+    NODE_ATTRIBUTE,
+    NODE_CONSTRAINT,
+    NODE_RELATION,
+    QueryGraph,
+)
+from repro.explain.render import to_ascii, to_dict, to_dot, to_json
+from repro.query.pj_query import ProjectJoinQuery
+
+
+@pytest.fixture()
+def lake_query() -> ProjectJoinQuery:
+    return ProjectJoinQuery(
+        (
+            ColumnRef("geo_lake", "Province"),
+            ColumnRef("Lake", "Name"),
+            ColumnRef("Lake", "Area"),
+        ),
+        (ForeignKey("geo_lake", "Lake", "Lake", "Name"),),
+    )
+
+
+@pytest.fixture()
+def lake_spec() -> MappingSpec:
+    spec = MappingSpec(3)
+    spec.add_sample_cells(
+        [
+            parse_value_constraint("California || Nevada"),
+            parse_value_constraint("Lake Tahoe"),
+            None,
+        ]
+    )
+    spec.set_metadata(
+        2, parse_metadata_constraint("DataType=='decimal' AND MinValue>=0")
+    )
+    return spec
+
+
+class TestQueryGraph:
+    def test_relations_and_attributes_match_paper_colors(self, lake_query):
+        graph = QueryGraph.from_query(lake_query)
+        assert len(graph.relation_nodes) == 2
+        assert len(graph.attribute_nodes) == 3
+        for node in graph.relation_nodes:
+            assert graph.graph.nodes[node]["color"] == "orange"
+            assert graph.graph.nodes[node]["shape"] == "box"
+        for node in graph.attribute_nodes:
+            assert graph.graph.nodes[node]["color"] == "green"
+            assert graph.graph.nodes[node]["shape"] == "ellipse"
+
+    def test_join_edges_connect_relations(self, lake_query):
+        graph = QueryGraph.from_query(lake_query)
+        edges = graph.join_edges()
+        assert len(edges) == 1
+        left, right = edges[0]
+        assert {graph.graph.nodes[left]["label"], graph.graph.nodes[right]["label"]} == {
+            "Lake",
+            "geo_lake",
+        }
+
+    def test_constraints_attach_to_their_attributes(self, lake_query, lake_spec):
+        graph = QueryGraph.from_query(lake_query, spec=lake_spec)
+        constraint_nodes = graph.constraint_nodes
+        assert len(constraint_nodes) == 3  # two sample cells + one metadata
+        for node in constraint_nodes:
+            assert graph.graph.nodes[node]["color"] == "blue"
+            neighbors = list(graph.graph.neighbors(node))
+            assert len(neighbors) == 1
+            assert graph.graph.nodes[neighbors[0]]["kind"] == NODE_ATTRIBUTE
+
+    def test_constraint_positions_can_be_restricted(self, lake_query, lake_spec):
+        graph = QueryGraph.from_query(
+            lake_query, spec=lake_spec, constraint_positions=[1]
+        )
+        assert len(graph.constraint_nodes) == 1
+        only = graph.constraint_nodes[0]
+        assert graph.graph.nodes[only]["label"] == "Lake Tahoe"
+
+    def test_no_spec_means_no_constraint_nodes(self, lake_query):
+        graph = QueryGraph.from_query(lake_query)
+        assert graph.constraint_nodes == []
+
+    def test_nodes_of_kind(self, lake_query):
+        graph = QueryGraph.from_query(lake_query)
+        assert set(graph.nodes_of_kind(NODE_RELATION)) == set(graph.relation_nodes)
+        assert graph.nodes_of_kind(NODE_CONSTRAINT) == []
+
+
+class TestRenderers:
+    def test_dot_output_contains_all_nodes_and_styles(self, lake_query, lake_spec):
+        dot = to_dot(QueryGraph.from_query(lake_query, spec=lake_spec))
+        assert dot.startswith("graph")
+        assert dot.rstrip().endswith("}")
+        assert "orange" in dot and "palegreen" in dot and "lightblue" in dot
+        assert "Lake Tahoe" in dot
+        assert "geo_lake.Lake = Lake.Name" in dot
+
+    def test_ascii_output_mentions_query_and_constraints(self, lake_query, lake_spec):
+        text = to_ascii(QueryGraph.from_query(lake_query, spec=lake_spec))
+        assert "SELECT geo_lake.Province, Lake.Name, Lake.Area" in text
+        assert "constraints:" in text
+        assert "California || Nevada" in text
+        assert "satisfied at" in text
+
+    def test_dict_output_is_json_serialisable(self, lake_query, lake_spec):
+        data = to_dict(QueryGraph.from_query(lake_query, spec=lake_spec))
+        payload = json.loads(to_json(QueryGraph.from_query(lake_query, spec=lake_spec)))
+        assert payload["sql"] == data["sql"]
+        assert len(data["nodes"]) == 2 + 3 + 3
+        kinds = {node["kind"] for node in data["nodes"]}
+        assert kinds == {NODE_RELATION, NODE_ATTRIBUTE, NODE_CONSTRAINT}
+
+    def test_quotes_in_labels_are_escaped_in_dot(self):
+        query = ProjectJoinQuery((ColumnRef("T", 'weird"col'),))
+        dot = to_dot(QueryGraph.from_query(query))
+        assert '\\"' in dot

@@ -1,0 +1,142 @@
+"""End-to-end scenarios across the three demo databases.
+
+Each test drives the full public API exactly the way the demo walk-through
+(§3) describes: configure, describe constraints at several resolutions,
+search, then explain the selected query.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    GenerationLimits,
+    MappingSpec,
+    Prism,
+    PrismSession,
+    parse_metadata_constraint,
+    parse_value_constraint,
+)
+from repro.constraints.values import ExactValue, OneOf, Range
+
+
+class TestMondialScenario:
+    def test_full_demo_walkthrough(self, mondial_db):
+        session = PrismSession(databases={"mondial": mondial_db})
+        session.configure("mondial", num_columns=3, num_samples=1, use_metadata=True)
+        session.set_sample_cell(0, 0, "California || Nevada")
+        session.set_sample_cell(0, 1, "Lake Tahoe")
+        session.set_metadata_constraint(2, "DataType=='decimal' AND MinValue>=0")
+        result = session.search()
+        assert result.num_queries >= 1
+        target = (
+            "SELECT geo_lake.Province, Lake.Name, Lake.Area "
+            "FROM Lake, geo_lake WHERE geo_lake.Lake = Lake.Name"
+        )
+        sqls = result.sql()
+        assert target in sqls
+        session.select_query(sqls.index(target))
+        explanation = session.explain(fmt="ascii")
+        assert "geo_lake" in explanation and "Lake" in explanation
+        assert "California || Nevada" in explanation
+
+    def test_looser_constraints_still_contain_target_query(self, mondial_prism):
+        spec = MappingSpec(3)
+        spec.add_sample_cells(
+            [
+                OneOf(["California", "Nevada"]),
+                ExactValue("Lake Tahoe"),
+                Range(400, 600),
+            ]
+        )
+        result = mondial_prism.discover(spec)
+        target = (
+            "SELECT geo_lake.Province, Lake.Name, Lake.Area "
+            "FROM Lake, geo_lake WHERE geo_lake.Lake = Lake.Name"
+        )
+        assert target in result.sql()
+
+    def test_all_results_actually_satisfy_the_spec(self, mondial_prism):
+        spec = MappingSpec(2)
+        spec.add_sample_cells(
+            [parse_value_constraint("Crater Lake"), parse_value_constraint("[500, 700]")]
+        )
+        result = mondial_prism.discover(spec)
+        executor = mondial_prism.executor
+        assert result.num_queries >= 1
+        for query in result.queries:
+            rows = executor.execute(query)
+            assert spec.samples[0].satisfied_by_result(rows)
+
+
+class TestImdbScenario:
+    @pytest.fixture(scope="class")
+    def imdb_prism(self, imdb_db):
+        return Prism(imdb_db, limits=GenerationLimits(max_candidates=300))
+
+    def test_actor_movie_mapping(self, imdb_prism):
+        spec = MappingSpec(2)
+        spec.add_sample_cells(
+            [ExactValue("Leonardo DiCaprio"), ExactValue("Inception")]
+        )
+        result = imdb_prism.discover(spec)
+        assert result.num_queries >= 1
+        assert any("Cast" in query.tables for query in result.queries)
+
+    def test_metadata_constraint_restricts_to_numeric_columns(self, imdb_prism):
+        spec = MappingSpec(2)
+        spec.add_sample_cells([ExactValue("The Dark Knight"), None])
+        spec.set_metadata(
+            1, parse_metadata_constraint("DataType=='decimal' AND MaxValue<=10")
+        )
+        result = imdb_prism.discover(spec)
+        assert result.num_queries >= 1
+        for query in result.queries:
+            assert query.projections[1].column == "Rating"
+
+    def test_year_range_constraint(self, imdb_prism):
+        spec = MappingSpec(2)
+        spec.add_sample_cells([ExactValue("Parasite"), Range(2015, 2023)])
+        result = imdb_prism.discover(spec)
+        assert result.num_queries >= 1
+        executor = imdb_prism.executor
+        for query in result.queries:
+            assert spec.samples[0].satisfied_by_result(executor.execute(query))
+
+
+class TestNbaScenario:
+    @pytest.fixture(scope="class")
+    def nba_prism(self, nba_db):
+        return Prism(nba_db, limits=GenerationLimits(max_candidates=300))
+
+    def test_player_team_city_mapping(self, nba_prism):
+        spec = MappingSpec(3)
+        spec.add_sample_cells(
+            [
+                ExactValue("LeBron James"),
+                ExactValue("Lakers"),
+                ExactValue("Los Angeles"),
+            ]
+        )
+        result = nba_prism.discover(spec)
+        assert result.num_queries >= 1
+        best = result.best()
+        assert {"Player", "Team"} <= set(best.tables)
+
+    def test_disjunctive_conference_constraint(self, nba_prism):
+        spec = MappingSpec(2)
+        spec.add_sample_cells(
+            [OneOf(["Celtics", "Bulls"]), OneOf(["East", "West"])]
+        )
+        result = nba_prism.discover(spec)
+        assert result.num_queries >= 1
+
+    def test_scheduler_agreement_on_nba(self, nba_prism):
+        spec = MappingSpec(2)
+        spec.add_sample_cells([ExactValue("Giannis Antetokounmpo"), ExactValue("Bucks")])
+        sqls = {}
+        for scheduler in ("naive", "filter", "bayesian", "optimal"):
+            sqls[scheduler] = sorted(
+                nba_prism.discover(spec, scheduler=scheduler).sql()
+            )
+        assert len({tuple(v) for v in sqls.values()}) == 1

@@ -1,0 +1,59 @@
+"""Unit tests for SQL rendering."""
+
+from __future__ import annotations
+
+from repro.dataset.schema import ColumnRef, ForeignKey
+from repro.query.pj_query import ProjectJoinQuery
+from repro.query.sql import to_sql
+
+
+class TestToSql:
+    def test_single_table_query(self):
+        query = ProjectJoinQuery((ColumnRef("Lake", "Name"), ColumnRef("Lake", "Area")))
+        assert to_sql(query) == "SELECT Lake.Name, Lake.Area FROM Lake"
+
+    def test_join_query_matches_paper_example_shape(self):
+        query = ProjectJoinQuery(
+            (
+                ColumnRef("geo_lake", "Province"),
+                ColumnRef("Lake", "Name"),
+                ColumnRef("Lake", "Area"),
+            ),
+            (ForeignKey("geo_lake", "Lake", "Lake", "Name"),),
+        )
+        sql = to_sql(query)
+        assert sql == (
+            "SELECT geo_lake.Province, Lake.Name, Lake.Area "
+            "FROM Lake, geo_lake WHERE geo_lake.Lake = Lake.Name"
+        )
+
+    def test_multiple_join_conditions_joined_with_and(self):
+        query = ProjectJoinQuery(
+            (ColumnRef("Department", "Name"), ColumnRef("Project", "Title")),
+            (
+                ForeignKey("Employee", "Department", "Department", "Name"),
+                ForeignKey("Assignment", "EmployeeId", "Employee", "Id"),
+                ForeignKey("Assignment", "ProjectCode", "Project", "Code"),
+            ),
+        )
+        sql = to_sql(query)
+        assert sql.count(" AND ") == 2
+        assert "FROM Assignment, Department, Employee, Project" in sql
+
+    def test_pretty_uses_newlines(self):
+        query = ProjectJoinQuery(
+            (ColumnRef("Lake", "Name"),),
+            (ForeignKey("geo_lake", "Lake", "Lake", "Name"),),
+        )
+        pretty = to_sql(query, pretty=True)
+        assert pretty.count("\n") == 2
+
+    def test_identifiers_with_spaces_are_quoted(self):
+        query = ProjectJoinQuery((ColumnRef("My Table", "Some Column"),))
+        assert to_sql(query) == 'SELECT "My Table"."Some Column" FROM "My Table"'
+
+    def test_projection_order_is_preserved(self):
+        query = ProjectJoinQuery(
+            (ColumnRef("Lake", "Area"), ColumnRef("Lake", "Name"))
+        )
+        assert to_sql(query).startswith("SELECT Lake.Area, Lake.Name")

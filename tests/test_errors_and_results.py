@@ -1,0 +1,74 @@
+"""Tests for the exception hierarchy and result containers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+from repro.dataset.schema import ColumnRef
+from repro.discovery.result import DiscoveryResult, DiscoveryStats
+from repro.query.pj_query import ProjectJoinQuery
+
+
+class TestErrorHierarchy:
+    def test_every_error_derives_from_repro_error(self):
+        for name in (
+            "SchemaError", "DataError", "QueryError", "ConstraintError",
+            "ConstraintParseError", "SpecError", "DiscoveryError",
+            "DiscoveryTimeout", "TrainingError", "WorkloadError", "SessionError",
+        ):
+            error_class = getattr(errors, name)
+            assert issubclass(error_class, errors.ReproError)
+
+    def test_parse_error_is_a_constraint_error(self):
+        assert issubclass(errors.ConstraintParseError, errors.ConstraintError)
+
+    def test_timeout_is_a_discovery_error_and_carries_partial_result(self):
+        assert issubclass(errors.DiscoveryTimeout, errors.DiscoveryError)
+        partial = DiscoveryResult()
+        exception = errors.DiscoveryTimeout("too slow", partial)
+        assert exception.partial_result is partial
+
+    def test_catching_the_base_class_catches_everything(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.SessionError("bad transition")
+
+
+class TestDiscoveryResult:
+    def _result(self) -> DiscoveryResult:
+        query = ProjectJoinQuery((ColumnRef("Lake", "Name"),))
+        stats = DiscoveryStats(scheduler_name="bayesian", validations=7,
+                               num_candidates=3, elapsed_seconds=0.5)
+        return DiscoveryResult(queries=[query], stats=stats)
+
+    def test_counts_and_best(self):
+        result = self._result()
+        assert result.num_queries == 1
+        assert not result.is_empty
+        assert result.best().projections[0] == ColumnRef("Lake", "Name")
+
+    def test_empty_result(self):
+        result = DiscoveryResult()
+        assert result.is_empty
+        assert result.best() is None
+        assert result.sql() == []
+        assert not result.timed_out
+
+    def test_sql_and_describe(self):
+        result = self._result()
+        assert result.sql() == ["SELECT Lake.Name FROM Lake"]
+        text = result.describe()
+        assert "1 satisfying schema mapping query" in text
+        assert "7 filter validations" in text
+
+    def test_describe_marks_timeouts(self):
+        result = self._result()
+        result.stats.timed_out = True
+        assert "TIMED OUT" in result.describe()
+
+    def test_stats_as_dict_round_trip(self):
+        stats = self._result().stats
+        payload = stats.as_dict()
+        assert payload["scheduler"] == "bayesian"
+        assert payload["validations"] == 7
+        assert payload["timed_out"] is False

@@ -1,0 +1,47 @@
+"""Smoke tests: every shipped example script runs to completion.
+
+The examples double as executable documentation; these tests keep them in
+sync with the public API.  Each example is executed in-process with its
+``main()`` entry point.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+_EXAMPLES = [
+    "quickstart.py",
+    "imdb_actors.py",
+    "nba_roster.py",
+    "custom_database.py",
+]
+
+
+def _load_example(name: str):
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(f"example_{path.stem}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.mark.parametrize("script", _EXAMPLES)
+def test_example_runs_to_completion(script, capsys):
+    module = _load_example(script)
+    module.main()
+    output = capsys.readouterr().out
+    assert "satisfying" in output or "mappings" in output
+
+
+def test_examples_directory_contains_the_documented_scripts():
+    names = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert {"quickstart.py", "mondial_lakes.py", "imdb_actors.py",
+            "nba_roster.py", "custom_database.py",
+            "scheduler_comparison.py"} <= names

@@ -1,0 +1,95 @@
+"""Unit tests for the prism CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workbench.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_search_arguments(self):
+        args = build_parser().parse_args(
+            [
+                "search",
+                "--database", "mondial",
+                "--columns", "3",
+                "--sample", "California || Nevada;Lake Tahoe;",
+                "--metadata", "2:DataType=='decimal' AND MinValue>=0",
+            ]
+        )
+        assert args.database == "mondial"
+        assert args.columns == 3
+        assert len(args.sample) == 1
+        assert args.scheduler == "bayesian"
+
+
+class TestCommands:
+    def test_databases_command_lists_bundled_sources(self, capsys):
+        assert main(["databases"]) == 0
+        output = capsys.readouterr().out
+        assert "mondial" in output and "imdb" in output and "nba" in output
+
+    def test_schema_command_describes_tables(self, capsys):
+        assert main(["schema", "nba"]) == 0
+        output = capsys.readouterr().out
+        assert "Team" in output and "Player" in output
+        assert "foreign keys:" in output
+
+    def test_search_command_end_to_end(self, capsys):
+        exit_code = main(
+            [
+                "search",
+                "--database", "nba",
+                "--columns", "2",
+                "--sample", "Lakers;LeBron James",
+                "--max-queries", "3",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "satisfying queries" in output
+        assert "SELECT" in output
+
+    def test_search_command_with_explain(self, capsys):
+        exit_code = main(
+            [
+                "search",
+                "--database", "nba",
+                "--columns", "2",
+                "--sample", "Lakers;LeBron James",
+                "--explain", "1",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "relations:" in output
+
+    def test_search_rejects_too_many_cells(self, capsys):
+        exit_code = main(
+            [
+                "search",
+                "--database", "nba",
+                "--columns", "1",
+                "--sample", "a;b;c",
+            ]
+        )
+        assert exit_code == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_search_rejects_malformed_metadata(self, capsys):
+        exit_code = main(
+            [
+                "search",
+                "--database", "nba",
+                "--columns", "1",
+                "--sample", "Lakers",
+                "--metadata", "DataType=='text'",
+            ]
+        )
+        assert exit_code == 2
+        assert "COLUMN:TEXT" in capsys.readouterr().err

@@ -1,0 +1,156 @@
+"""Unit tests for the PrismSession workflow (Configuration → Description → Result)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SessionError
+from repro.workbench.session import PrismSession, SessionStage
+
+
+@pytest.fixture()
+def session(company_db_session):
+    # Use the small company database so searches are fast and deterministic.
+    return PrismSession(databases={"company": company_db_session})
+
+
+def configure(session: PrismSession) -> PrismSession:
+    return session.configure("company", num_columns=2, num_samples=1)
+
+
+class TestConfiguration:
+    def test_initial_stage(self, session):
+        assert session.stage is SessionStage.CONFIGURATION
+
+    def test_available_databases_reflect_injected_mapping(self, session):
+        assert session.available_databases() == ["company"]
+
+    def test_default_session_offers_demo_databases(self):
+        assert PrismSession().available_databases() == ["imdb", "mondial", "nba"]
+
+    def test_configure_moves_to_description(self, session):
+        configure(session)
+        assert session.stage is SessionStage.DESCRIPTION
+
+    def test_configure_rejects_unknown_database(self, session):
+        with pytest.raises(SessionError):
+            session.configure("oracle", num_columns=2)
+
+    def test_configure_rejects_bad_shapes(self, session):
+        with pytest.raises(SessionError):
+            session.configure("company", num_columns=0)
+        with pytest.raises(SessionError):
+            session.configure("company", num_columns=2, num_samples=-1)
+
+
+class TestDescription:
+    def test_cells_require_configuration_first(self, session):
+        with pytest.raises(SessionError):
+            session.set_sample_cell(0, 0, "x")
+        with pytest.raises(SessionError):
+            session.set_metadata_constraint(0, "DataType=='text'")
+
+    def test_cell_indices_are_validated(self, session):
+        configure(session)
+        with pytest.raises(SessionError):
+            session.set_sample_cell(1, 0, "x")
+        with pytest.raises(SessionError):
+            session.set_sample_cell(0, 5, "x")
+        with pytest.raises(SessionError):
+            session.set_metadata_constraint(9, "DataType=='text'")
+
+    def test_metadata_requires_enablement(self, session):
+        session.configure("company", num_columns=2, use_metadata=False)
+        with pytest.raises(SessionError):
+            session.set_metadata_constraint(0, "DataType=='text'")
+
+    def test_build_spec_collects_cells_and_metadata(self, session):
+        configure(session)
+        session.set_sample_cell(0, 0, "Engineering")
+        session.set_metadata_constraint(1, "DataType=='text'")
+        spec = session.build_spec()
+        assert spec.num_columns == 2
+        assert len(spec.samples) == 1
+        assert spec.metadata_for(1) is not None
+
+    def test_blank_rows_and_blank_metadata_are_dropped(self, session):
+        session.configure("company", num_columns=2, num_samples=2)
+        session.set_sample_cell(0, 0, "Engineering")
+        session.set_metadata_constraint(1, "   ")
+        spec = session.build_spec()
+        assert len(spec.samples) == 1
+        assert spec.metadata == {}
+
+
+class TestSearchAndResults:
+    def test_search_produces_results_and_moves_stage(self, session):
+        configure(session)
+        session.set_sample_cell(0, 0, "Engineering")
+        session.set_sample_cell(0, 1, "Query Optimizer")
+        result = session.search()
+        assert session.stage is SessionStage.RESULT
+        assert result.num_queries >= 1
+        assert session.result is result
+        assert len(session.queries()) == result.num_queries
+
+    def test_search_without_constraints_is_rejected(self, session):
+        configure(session)
+        with pytest.raises(Exception):
+            session.search()
+
+    def test_select_and_sql_and_explain(self, session):
+        configure(session)
+        session.set_sample_cell(0, 0, "Engineering")
+        session.set_sample_cell(0, 1, "Query Optimizer")
+        session.search()
+        query = session.select_query(0)
+        assert session.selected_query is query
+        assert session.sql().startswith("SELECT")
+        ascii_text = session.explain(fmt="ascii")
+        assert "constraints:" in ascii_text
+        dot_text = session.explain(fmt="dot")
+        assert dot_text.startswith("graph")
+        payload = session.explain(fmt="dict")
+        assert payload["sql"] == session.sql()
+
+    def test_explain_unknown_format_rejected(self, session):
+        configure(session)
+        session.set_sample_cell(0, 0, "Engineering")
+        session.set_sample_cell(0, 1, "Query Optimizer")
+        session.search()
+        session.select_query(0)
+        with pytest.raises(SessionError):
+            session.explain(fmt="png")
+
+    def test_result_access_before_search_is_rejected(self, session):
+        configure(session)
+        with pytest.raises(SessionError):
+            session.queries()
+        with pytest.raises(SessionError):
+            session.select_query(0)
+
+    def test_select_out_of_range_rejected(self, session):
+        configure(session)
+        session.set_sample_cell(0, 0, "Engineering")
+        session.set_sample_cell(0, 1, "Query Optimizer")
+        session.search()
+        with pytest.raises(SessionError):
+            session.select_query(10_000)
+
+    def test_explain_without_selection_requires_index(self, session):
+        configure(session)
+        session.set_sample_cell(0, 0, "Engineering")
+        session.set_sample_cell(0, 1, "Query Optimizer")
+        session.search()
+        with pytest.raises(SessionError):
+            session.explain()
+        assert "SELECT" in session.explain(index=0, fmt="ascii")
+
+    def test_reset_returns_to_configuration(self, session):
+        configure(session)
+        session.set_sample_cell(0, 0, "Engineering")
+        session.set_sample_cell(0, 1, "Query Optimizer")
+        session.search()
+        session.reset()
+        assert session.stage is SessionStage.CONFIGURATION
+        assert session.result is None

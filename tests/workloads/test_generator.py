@@ -1,0 +1,73 @@
+"""Unit tests for ground-truth workload case generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.query.executor import Executor
+from repro.workloads.generator import WorkloadGenerator
+
+
+class TestGenerateCase:
+    def test_case_shape_matches_request(self, company_db):
+        generator = WorkloadGenerator(company_db, seed=3)
+        case = generator.generate_case(num_columns=3, num_tables=2, num_samples=2)
+        assert case.num_columns == 3
+        assert len(case.ground_truth.tables) == 2
+        assert len(case.sample_rows) == 2
+
+    def test_ground_truth_is_valid_and_non_empty(self, company_db):
+        generator = WorkloadGenerator(company_db, seed=5)
+        case = generator.generate_case(num_columns=2, num_tables=2)
+        case.ground_truth.validate(company_db)
+        rows = Executor(company_db).execute(case.ground_truth)
+        assert rows
+
+    def test_sample_rows_come_from_the_result(self, company_db):
+        generator = WorkloadGenerator(company_db, seed=7)
+        case = generator.generate_case(num_columns=2, num_tables=2)
+        rows = set(Executor(company_db).execute(case.ground_truth))
+        for sample in case.sample_rows:
+            assert sample in rows
+            assert all(cell is not None for cell in sample)
+
+    def test_single_table_case(self, company_db):
+        generator = WorkloadGenerator(company_db, seed=11)
+        case = generator.generate_case(num_columns=2, num_tables=1)
+        assert case.join_size == 0
+        assert len(case.ground_truth.tables) == 1
+
+    def test_case_ids_are_sequential(self, company_db):
+        generator = WorkloadGenerator(company_db, seed=1)
+        cases = generator.generate_cases(3, num_columns=2, num_tables=2)
+        assert [case.case_id for case in cases] == [0, 1, 2]
+
+    def test_generation_is_deterministic_per_seed(self, company_db):
+        first = WorkloadGenerator(company_db, seed=42).generate_case(2, 2)
+        second = WorkloadGenerator(company_db, seed=42).generate_case(2, 2)
+        assert first.ground_truth.signature() == second.ground_truth.signature()
+        assert first.sample_rows == second.sample_rows
+
+    def test_matches_query_compares_signatures(self, company_db):
+        generator = WorkloadGenerator(company_db, seed=2)
+        case = generator.generate_case(num_columns=2, num_tables=2)
+        assert case.matches_query(case.ground_truth)
+
+    def test_invalid_shapes_rejected(self, company_db):
+        generator = WorkloadGenerator(company_db, seed=0)
+        with pytest.raises(WorkloadError):
+            generator.generate_case(num_columns=0)
+        with pytest.raises(WorkloadError):
+            generator.generate_case(num_columns=2, num_tables=0)
+
+    def test_impossible_request_raises_after_attempts(self, company_db):
+        generator = WorkloadGenerator(company_db, seed=0)
+        with pytest.raises(WorkloadError):
+            # More tables than exist in the schema graph.
+            generator.generate_case(num_columns=2, num_tables=40, max_attempts=5)
+
+    def test_mondial_cases_exercise_geo_joins(self, mondial_db):
+        generator = WorkloadGenerator(mondial_db, seed=4)
+        cases = generator.generate_cases(3, num_columns=3, num_tables=2)
+        assert all(case.join_size == 1 for case in cases)
