@@ -27,6 +27,8 @@ Typical usage::
 
 Package map (see DESIGN.md for the full inventory):
 
+* :mod:`repro.storage` — pluggable columnar storage backends (dictionary
+  encoding, NULL masks, cached join-key hash indexes).
 * :mod:`repro.dataset` — in-memory relational engine, inverted index,
   metadata catalog, schema graph.
 * :mod:`repro.datasets` — synthetic Mondial / IMDB / NBA databases.
@@ -76,6 +78,7 @@ from repro.discovery import (
 )
 from repro.explain import QueryGraph, to_ascii, to_dot
 from repro.query import Executor, ProjectJoinQuery, to_sql
+from repro.storage import ColumnStore, StorageBackend
 from repro.workbench import PrismSession
 
 __version__ = "0.1.0"
@@ -83,6 +86,7 @@ __version__ = "0.1.0"
 __all__ = [
     "Column",
     "ColumnRef",
+    "ColumnStore",
     "Database",
     "DataType",
     "DiscoveryResult",
@@ -103,6 +107,7 @@ __all__ = [
     "Resolution",
     "SampleConstraint",
     "SchemaGraph",
+    "StorageBackend",
     "Table",
     "available_databases",
     "generate_synthetic_database",

@@ -42,28 +42,73 @@ class ColumnDistribution:
         data_type: DataType,
         values: Sequence[Any],
     ):
+        # One pair per row: no hashing of raw values, so cross-type-equal
+        # values (True == 1 == 1.0) and unhashable values behave exactly as
+        # in a row-wise fit.
+        self._init_from_pairs(
+            column_name,
+            data_type,
+            len(values),
+            [(value, 1) for value in values if value is not None],
+        )
+
+    @classmethod
+    def from_counts(
+        cls,
+        column_name: str,
+        data_type: DataType,
+        row_count: int,
+        value_counts: dict[Any, int],
+    ) -> "ColumnDistribution":
+        """Build a distribution from per-distinct-value counts.
+
+        This is the columnar fast path used by model training: per-value
+        work (normalizing, tokenizing) runs once per distinct value, with
+        counts supplying the multiplicities.  The result is equivalent to
+        fitting on the expanded value sequence.
+        """
+        self = cls.__new__(cls)
+        self._init_from_pairs(
+            column_name, data_type, row_count, list(value_counts.items())
+        )
+        return self
+
+    def _init_from_pairs(
+        self,
+        column_name: str,
+        data_type: DataType,
+        row_count: int,
+        pairs: list[tuple[Any, int]],
+    ) -> None:
+        """The single fit implementation: (non-NULL value, count) pairs."""
         self.column_name = column_name
         self.data_type = data_type
-        non_null = [value for value in values if value is not None]
-        self.row_count = len(values)
-        self.non_null_count = len(non_null)
+        self.row_count = row_count
+        self.non_null_count = sum(count for __, count in pairs)
         self.null_fraction = (
-            1.0 - self.non_null_count / self.row_count if self.row_count else 0.0
+            1.0 - self.non_null_count / row_count if row_count else 0.0
         )
-        self._frequencies: Counter = Counter(
-            normalize_term(value) for value in non_null
-        )
-        self._token_frequencies: Counter = Counter()
-        if data_type is DataType.TEXT:
-            for value in non_null:
+        frequencies: Counter = Counter()
+        token_frequencies: Counter = Counter()
+        for value, count in pairs:
+            key = normalize_term(value)
+            frequencies[key] += count
+            if data_type is DataType.TEXT:
                 for token in str(value).casefold().split():
-                    key = normalize_term(token)
-                    if key != normalize_term(value):
-                        self._token_frequencies[key] += 1
+                    token_key = normalize_term(token)
+                    if token_key != key:
+                        token_frequencies[token_key] += count
+        self._frequencies = frequencies
+        self._token_frequencies = token_frequencies
+        # _numeric is a multiset (order is never observed): values expanded
+        # by their counts.
         self._numeric: Optional[np.ndarray] = None
         self._histogram: Optional[tuple[np.ndarray, np.ndarray]] = None
-        if data_type.is_numeric and non_null:
-            self._numeric = np.asarray([float(value) for value in non_null])
+        if data_type.is_numeric and pairs:
+            self._numeric = np.repeat(
+                np.asarray([float(value) for value, __ in pairs]),
+                np.asarray([count for __, count in pairs], dtype=np.int64),
+            )
             counts, edges = np.histogram(self._numeric, bins=_HISTOGRAM_BINS)
             self._histogram = (counts, edges)
 

@@ -43,18 +43,14 @@ class JoinIndicatorModel:
         """Estimate the join-indicator statistics for one edge."""
         child = database.table(foreign_key.child_table)
         parent = database.table(foreign_key.parent_table)
-        child_values = [
-            normalize_term(value)
-            for value in child.column_values(foreign_key.child_column)
-            if value is not None
-        ]
-        parent_values = [
-            normalize_term(value)
-            for value in parent.column_values(foreign_key.parent_column)
-            if value is not None
-        ]
-        child_counts = Counter(child_values)
-        parent_counts = Counter(parent_values)
+        # Aggregate over the backend's distinct-value counts so each value
+        # is normalized once, not once per row.
+        child_counts: Counter = Counter()
+        for value, count in child.value_counts(foreign_key.child_column).items():
+            child_counts[normalize_term(value)] += count
+        parent_counts: Counter = Counter()
+        for value, count in parent.value_counts(foreign_key.parent_column).items():
+            parent_counts[normalize_term(value)] += count
         total_pairs = child.num_rows * parent.num_rows
         if total_pairs == 0:
             return cls(foreign_key, 0.0, 0.0, 0.0, 0.0)

@@ -15,6 +15,7 @@ from typing import Mapping, Optional
 from repro.bayesian.distributions import ColumnDistribution
 from repro.constraints.values import ValueConstraint
 from repro.dataset.table import Table
+from repro.dataset.types import DataType
 from repro.errors import TrainingError
 
 __all__ = ["SingleRelationModel"]
@@ -37,13 +38,29 @@ class SingleRelationModel:
 
     @classmethod
     def fit(cls, table: Table) -> "SingleRelationModel":
-        """Train the model directly from a table's contents."""
-        distributions = {
-            column.name: ColumnDistribution(
-                column.name, column.data_type, table.column_values(column.name)
-            )
-            for column in table.columns
-        }
+        """Train the model directly from a table's columns.
+
+        Text distributions are fitted from the storage backend's
+        per-distinct-value counts, so repeated strings (dictionary-encoded
+        in the backend) are normalized and tokenized once.  Numeric
+        columns — typically near-unique, where counting buys nothing —
+        read their column array directly.
+        """
+        distributions = {}
+        for column in table.columns:
+            if column.data_type is DataType.TEXT:
+                distributions[column.name] = ColumnDistribution.from_counts(
+                    column.name,
+                    column.data_type,
+                    table.num_rows,
+                    table.value_counts(column.name),
+                )
+            else:
+                distributions[column.name] = ColumnDistribution(
+                    column.name,
+                    column.data_type,
+                    table.column_values(column.name),
+                )
         return cls(table.name, table.num_rows, distributions)
 
     def distribution(self, column_name: str) -> ColumnDistribution:

@@ -55,6 +55,17 @@ COMPARISON_OPERATORS: dict[str, Callable[[Any, Any], bool]] = {
 _WORD_PATTERN_CACHE: dict[str, re.Pattern] = {}
 
 
+def _typed(value: Any) -> tuple:
+    """A value tagged with its type for constraint identity.
+
+    Python hashes/compares ``True == 1`` and ``1 == 1.0``, but matching
+    semantics differ by type (booleans match by identity; numeric text
+    renders differently), so constraint keys must not let such values
+    collide — they feed equality, hashing and executor memo keys.
+    """
+    return (type(value).__name__, value)
+
+
 def _normalize_text(value: Any) -> str:
     return str(value).strip().casefold()
 
@@ -162,7 +173,7 @@ class ExactValue(ValueConstraint):
         return str(self.value)
 
     def _key(self) -> tuple:
-        return (self.value,)
+        return (_typed(self.value),)
 
 
 class OneOf(ValueConstraint):
@@ -188,7 +199,7 @@ class OneOf(ValueConstraint):
         return " || ".join(str(value) for value in self.values)
 
     def _key(self) -> tuple:
-        return (self.values,)
+        return tuple(_typed(value) for value in self.values)
 
 
 class Range(ValueConstraint):
@@ -241,7 +252,12 @@ class Range(ValueConstraint):
         return f"{left}{low}, {high}{right}"
 
     def _key(self) -> tuple:
-        return (self.low, self.high, self.low_inclusive, self.high_inclusive)
+        return (
+            _typed(self.low),
+            _typed(self.high),
+            self.low_inclusive,
+            self.high_inclusive,
+        )
 
 
 class Predicate(ValueConstraint):
@@ -267,7 +283,7 @@ class Predicate(ValueConstraint):
         return f"{self.op} {self.constant}"
 
     def _key(self) -> tuple:
-        return (self.op, self.constant)
+        return (self.op, _typed(self.constant))
 
 
 class Conjunction(ValueConstraint):

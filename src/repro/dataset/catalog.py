@@ -69,16 +69,65 @@ class MetadataCatalog:
 
     @classmethod
     def build(cls, database: Database) -> "MetadataCatalog":
-        """Collect statistics for every column of ``database``."""
+        """Collect statistics for every column of ``database``.
+
+        Columns are read straight from the storage backend.  Text columns
+        never materialize their values: min/max, max length and the
+        distinct count all come from the backend's dictionary of distinct
+        strings, and the NULL count from the column's NULL mask.
+        """
         catalog = cls()
         for table in database:
             catalog._table_rows[table.name] = table.num_rows
             for column in table.columns:
                 ref = ColumnRef(table.name, column.name)
-                catalog._stats[ref] = cls._collect(
-                    ref, column.data_type, table.column_values(column.name)
-                )
+                stats = None
+                if column.data_type is DataType.TEXT:
+                    dictionary = table.text_dictionary(column.name)
+                    if dictionary is not None:
+                        stats = cls._collect_text_from_dictionary(
+                            ref,
+                            dictionary,
+                            row_count=table.num_rows,
+                            null_count=table.null_count(column.name),
+                        )
+                if stats is None:
+                    stats = cls._collect(
+                        ref, column.data_type, table.column_values(column.name)
+                    )
+                catalog._stats[ref] = stats
         return catalog
+
+    @staticmethod
+    def _collect_text_from_dictionary(
+        ref: ColumnRef,
+        dictionary: list[str],
+        row_count: int,
+        null_count: int,
+    ) -> ColumnStats:
+        """Text-column statistics computed over distinct values only.
+
+        Min/max and max length over the distinct set equal those over all
+        rows, and every dictionary entry occurs in at least one row, so
+        its length is exactly the distinct count.
+        """
+        min_value: Optional[str] = None
+        max_value: Optional[str] = None
+        max_text_length: Optional[int] = None
+        if dictionary:
+            min_value = min(dictionary)
+            max_value = max(dictionary)
+            max_text_length = max(len(value) for value in dictionary)
+        return ColumnStats(
+            ref=ref,
+            data_type=DataType.TEXT,
+            row_count=row_count,
+            null_count=null_count,
+            distinct_count=len(dictionary),
+            min_value=min_value,
+            max_value=max_value,
+            max_text_length=max_text_length,
+        )
 
     @staticmethod
     def _collect(

@@ -12,26 +12,45 @@ from typing import Iterable, Iterator, Optional, Sequence
 from repro.dataset.schema import Column, ColumnRef, ForeignKey
 from repro.dataset.table import Table
 from repro.errors import SchemaError
+from repro.storage import ColumnStore, StorageBackend
 
 __all__ = ["Database"]
 
 
 class Database:
-    """A named collection of tables connected by foreign keys."""
+    """A named collection of tables connected by foreign keys.
 
-    def __init__(self, name: str):
+    All tables created through :meth:`create_table` share one storage
+    backend (a :class:`~repro.storage.ColumnStore` unless another backend
+    is injected), so database-wide consumers — the executor's join-index
+    cache in particular — operate against a single physical store.  Tables
+    adopted via :meth:`add_table` keep whatever backend they were built on.
+    """
+
+    def __init__(self, name: str, backend: Optional[StorageBackend] = None):
         if not name or not name.strip():
             raise SchemaError("database name must be a non-empty string")
         self.name = name
+        self._backend: StorageBackend = (
+            backend if backend is not None else ColumnStore()
+        )
         self._tables: dict[str, Table] = {}
         self._foreign_keys: list[ForeignKey] = []
+        self._schema_version = 0
 
     # ------------------------------------------------------------------
     # Tables
     # ------------------------------------------------------------------
+    @property
+    def backend(self) -> StorageBackend:
+        """The storage backend shared by tables created on this database."""
+        return self._backend
+
     def create_table(self, name: str, columns: Sequence[Column]) -> Table:
         """Create, register and return a new empty table."""
-        table = Table(name, columns)
+        if name in self._tables:
+            raise SchemaError(f"table {name!r} already exists")
+        table = Table(name, columns, backend=self._backend)
         self.add_table(table)
         return table
 
@@ -40,15 +59,23 @@ class Database:
         if table.name in self._tables:
             raise SchemaError(f"table {table.name!r} already exists")
         self._tables[table.name] = table
+        self._schema_version += 1
 
     def drop_table(self, name: str) -> None:
         """Remove a table and any foreign keys touching it."""
         if name not in self._tables:
             raise SchemaError(f"no such table: {name!r}")
-        del self._tables[name]
+        table = self._tables.pop(name)
+        if table.backend is self._backend:
+            # Free the name on the shared backend for reuse, but keep the
+            # dropped Table handle functional and isolated on a private
+            # backend — a stale reference must never alias a successor
+            # table's storage.
+            table.detach_storage()
         self._foreign_keys = [
             fk for fk in self._foreign_keys if name not in fk.tables()
         ]
+        self._schema_version += 1
 
     def has_table(self, name: str) -> bool:
         """Whether a table named ``name`` exists."""
@@ -151,6 +178,34 @@ class Database:
     # ------------------------------------------------------------------
     # Statistics
     # ------------------------------------------------------------------
+    @property
+    def schema_version(self) -> int:
+        """Monotonic counter bumped on every table addition or removal.
+
+        Caches derived from schema structure (e.g. the executor's join
+        plans, which bake in column positions) must be discarded when this
+        changes — a dropped-and-recreated table may have a different
+        layout under the same name.
+        """
+        return self._schema_version
+
+    @property
+    def data_version(self) -> tuple[int, int, int]:
+        """A cheap change token: (schema version, table count, summed
+        storage versions).
+
+        Any insert or table addition/removal yields a different token, so
+        callers (e.g. the executor's existence-memo cache) can detect
+        staleness without hashing contents.  The schema version guards the
+        drop-and-recreate case, where count and summed versions alone
+        could coincide.
+        """
+        return (
+            self._schema_version,
+            len(self._tables),
+            sum(table.storage_version for table in self._tables.values()),
+        )
+
     @property
     def total_rows(self) -> int:
         """Total number of rows across every table."""

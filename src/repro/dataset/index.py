@@ -82,18 +82,56 @@ class InvertedIndex:
     # ------------------------------------------------------------------
     @classmethod
     def build(cls, database: Database) -> "InvertedIndex":
-        """Build the index over every table of ``database``."""
+        """Build the index over every table of ``database``.
+
+        Columns are read directly from the storage backend.  For
+        dictionary-encoded text columns the per-value work (normalizing,
+        tokenizing) is done once per distinct string and fanned out over
+        the rows via the integer codes.
+        """
         index = cls()
         for table in database:
             for column in table.columns:
-                position = table.column_position(column.name)
-                for row_index, row in enumerate(table.rows):
-                    value = row[position]
+                if column.data_type is DataType.TEXT:
+                    encoded = table.text_column_codes(column.name)
+                    if encoded is not None:
+                        codes, dictionary = encoded
+                        index._add_encoded(
+                            table.name, column.name, codes, dictionary
+                        )
+                        continue
+                for row_index, value in enumerate(
+                    table.column_values(column.name)
+                ):
                     if value is None:
                         continue
                     index._add(table.name, column.name, row_index, value,
                                column.data_type)
         return index
+
+    def _add_encoded(
+        self,
+        table: str,
+        column: str,
+        codes: list[int],
+        dictionary: list[str],
+    ) -> None:
+        """Index a dictionary-encoded text column."""
+        keys = [normalize_term(value) for value in dictionary]
+        token_lists = [
+            [token for token in _tokenize(value) if token != key]
+            for value, key in zip(dictionary, keys)
+        ]
+        exact = self._exact
+        tokens = self._tokens
+        for row_index, code in enumerate(codes):
+            if code < 0:
+                continue
+            posting = Posting(table, column, row_index)
+            exact[keys[code]].append(posting)
+            self._indexed_cells += 1
+            for token in token_lists[code]:
+                tokens[token].append(posting)
 
     def _add(
         self,

@@ -1,27 +1,37 @@
-"""In-memory relation storage.
+"""In-memory relation: schema logic over a pluggable storage backend.
 
-A :class:`Table` stores its rows as plain tuples and offers column-oriented
-access helpers used by the inverted index, the metadata catalog and the
-Bayesian model trainer.  Rows are validated against the declared column
-types on insertion so that downstream code never has to defend against
-mis-typed cells.
+A :class:`Table` validates rows against the declared column types on
+insertion so that downstream code never has to defend against mis-typed
+cells, then delegates physical storage to a :class:`StorageBackend`
+(:class:`~repro.storage.ColumnStore` by default — typed column arrays with
+dictionary-encoded text, NULL masks and cached join-key hash indexes).
+The historical tuple API (``rows``/``row``/iteration) is preserved on top
+of the columnar representation, and column-oriented accessors expose the
+backend directly to the inverted index, the metadata catalog, the Bayesian
+trainers and the vectorized executor.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Iterator, Optional, Sequence
+from typing import Any, Callable, Iterable, Iterator, Mapping, Optional, Sequence
 
 from repro.dataset.schema import Column
 from repro.dataset.types import DataType, coerce_value, detect_type
 from repro.errors import DataError, SchemaError
+from repro.storage import ColumnStore, StorageBackend
 
 __all__ = ["Table"]
 
 
 class Table:
-    """A named relation with typed columns and tuple rows."""
+    """A named relation with typed columns stored columnar behind the API."""
 
-    def __init__(self, name: str, columns: Sequence[Column]):
+    def __init__(
+        self,
+        name: str,
+        columns: Sequence[Column],
+        backend: Optional[StorageBackend] = None,
+    ):
         if not name or not name.strip():
             raise SchemaError("table name must be a non-empty string")
         if not columns:
@@ -34,7 +44,10 @@ class Table:
         self._column_index: dict[str, int] = {
             column.name: position for position, column in enumerate(columns)
         }
-        self._rows: list[tuple[Any, ...]] = []
+        self._backend: StorageBackend = (
+            backend if backend is not None else ColumnStore()
+        )
+        self._backend.register_table(name, self.columns)
 
     # ------------------------------------------------------------------
     # Schema helpers
@@ -67,6 +80,28 @@ class Table:
             ) from exc
 
     # ------------------------------------------------------------------
+    # Storage backend
+    # ------------------------------------------------------------------
+    @property
+    def backend(self) -> StorageBackend:
+        """The storage backend holding this table's data."""
+        return self._backend
+
+    @property
+    def storage_version(self) -> int:
+        """Monotonic data version (bumped on every insert)."""
+        return self._backend.version(self.name)
+
+    def detach_storage(self) -> None:
+        """Move this table's data onto a private backend.
+
+        Called when the table is dropped from a database whose shared
+        backend frees the name for reuse: this handle keeps its data and
+        stays functional, fully isolated from any successor table.
+        """
+        self._backend = self._backend.detach_table(self.name)
+
+    # ------------------------------------------------------------------
     # Row storage
     # ------------------------------------------------------------------
     def insert(self, row: Sequence[Any], coerce: bool = False) -> None:
@@ -86,13 +121,21 @@ class Table:
         prepared: list[Any] = []
         for column, value in zip(self.columns, row):
             prepared.append(self._prepare_cell(column, value, coerce))
-        self._rows.append(tuple(prepared))
+        self._backend.append_row(self.name, prepared)
 
     def insert_many(self, rows: Iterable[Sequence[Any]], coerce: bool = False) -> int:
-        """Insert many rows; returns the number of rows inserted."""
+        """Insert many rows; returns the number of rows inserted.
+
+        A row that fails validation raises :class:`DataError` naming its
+        0-based position in ``rows``, so bulk-load failures on large
+        datasets point at the offending record.
+        """
         count = 0
-        for row in rows:
-            self.insert(row, coerce=coerce)
+        for index, row in enumerate(rows):
+            try:
+                self.insert(row, coerce=coerce)
+            except DataError as exc:
+                raise DataError(f"row {index}: {exc}") from exc
             count += 1
         return count
 
@@ -119,36 +162,92 @@ class Table:
         )
 
     # ------------------------------------------------------------------
-    # Access
+    # Row-oriented access (tuple compatibility layer)
     # ------------------------------------------------------------------
     @property
     def rows(self) -> list[tuple[Any, ...]]:
         """All rows (list of tuples).  Treat as read-only."""
-        return self._rows
+        return self._backend.rows(self.name)
 
     @property
     def num_rows(self) -> int:
         """Number of stored rows."""
-        return len(self._rows)
+        return self._backend.num_rows(self.name)
 
     def row(self, index: int) -> tuple[Any, ...]:
         """Return the row at ``index``."""
-        return self._rows[index]
+        return self._backend.row(self.name, index)
 
     def cell(self, row_index: int, column_name: str) -> Any:
         """Return a single cell by row index and column name."""
-        return self._rows[row_index][self.column_position(column_name)]
+        return self._backend.cell(
+            self.name, row_index, self.column_position(column_name)
+        )
 
+    # ------------------------------------------------------------------
+    # Column-oriented access
+    # ------------------------------------------------------------------
     def column_values(self, name: str) -> list[Any]:
         """All values of one column, in row order (including NULLs)."""
-        position = self.column_position(name)
-        return [row[position] for row in self._rows]
+        return self._backend.column_values(self.name, self.column_position(name))
 
     def distinct_values(self, name: str) -> set[Any]:
         """Distinct non-NULL values of one column."""
-        position = self.column_position(name)
-        return {row[position] for row in self._rows if row[position] is not None}
+        return self._backend.distinct_values(self.name, self.column_position(name))
 
+    def distinct_count(self, name: str) -> int:
+        """Number of distinct non-NULL values of one column."""
+        return self._backend.distinct_count(self.name, self.column_position(name))
+
+    def null_mask(self, name: str) -> list[bool]:
+        """Per-row NULL mask of one column (True where the cell is NULL)."""
+        return self._backend.null_mask(self.name, self.column_position(name))
+
+    def null_count(self, name: str) -> int:
+        """Number of NULL cells in one column."""
+        return self._backend.null_count(self.name, self.column_position(name))
+
+    def value_counts(self, name: str) -> dict[Any, int]:
+        """Occurrence count per distinct non-NULL value of one column."""
+        return self._backend.value_counts(self.name, self.column_position(name))
+
+    def text_dictionary(self, name: str) -> Optional[list[str]]:
+        """Dictionary of a dictionary-encoded text column (else ``None``)."""
+        return self._backend.text_dictionary(self.name, self.column_position(name))
+
+    def text_column_codes(
+        self, name: str
+    ) -> Optional[tuple[list[int], list[str]]]:
+        """(codes, dictionary) of an encoded text column (else ``None``)."""
+        return self._backend.text_column_codes(
+            self.name, self.column_position(name)
+        )
+
+    def cell_reader(self, name: str) -> Callable[[int], Any]:
+        """Fast row-index → value accessor for one column."""
+        return self._backend.cell_reader(self.name, self.column_position(name))
+
+    def select_rows(
+        self, name: str, predicate: Callable[[Any], bool]
+    ) -> list[int]:
+        """Row indexes whose cell in ``name`` is non-NULL and matches."""
+        return self._backend.select_rows(
+            self.name, self.column_position(name), predicate
+        )
+
+    def join_index(self, name: str) -> Mapping[Any, Sequence[int]]:
+        """Cached value → row-indexes hash index over one column."""
+        return self._backend.join_index(self.name, self.column_position(name))
+
+    def has_cached_join_index(self, name: str) -> bool:
+        """Whether a current join index for ``name`` is cached."""
+        return self._backend.has_cached_join_index(
+            self.name, self.column_position(name)
+        )
+
+    # ------------------------------------------------------------------
+    # Convenience selection
+    # ------------------------------------------------------------------
     def select(
         self,
         columns: Optional[Sequence[str]] = None,
@@ -169,19 +268,19 @@ class Table:
             for name, value in (where or {}).items()
         ]
         result = []
-        for row in self._rows:
+        for row in self.rows:
             if all(row[pos] == value for pos, value in predicates):
                 result.append(tuple(row[pos] for pos in positions))
         return result
 
     def __iter__(self) -> Iterator[tuple[Any, ...]]:
-        return iter(self._rows)
+        return iter(self.rows)
 
     def __len__(self) -> int:
-        return len(self._rows)
+        return self.num_rows
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (
             f"Table(name={self.name!r}, columns={len(self.columns)}, "
-            f"rows={len(self._rows)})"
+            f"rows={self.num_rows})"
         )

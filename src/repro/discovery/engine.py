@@ -9,6 +9,7 @@ paper's interactive time limit (60 seconds per round by default, §2.2).
 from __future__ import annotations
 
 import time
+from dataclasses import replace
 from typing import Optional
 
 from repro.bayesian.estimator import SelectivityEstimator
@@ -151,13 +152,29 @@ class Prism:
             estimator=self._estimator,
             deadline=deadline,
         )
+        executor_before = replace(self.executor.stats)
         scheduling = driver.run()
+        executor_after = self.executor.stats
         stats.validation_seconds = time.monotonic() - stage_start
         stats.validations = scheduling.validations
         stats.implied_outcomes = scheduling.implied_outcomes
         stats.num_confirmed = scheduling.num_confirmed
         stats.num_pruned = len(scheduling.pruned_candidate_ids)
         stats.timed_out = scheduling.timed_out
+        # Cache effectiveness of this run's validation stage: the executor
+        # is shared across discover() calls, so report deltas, not totals.
+        stats.exists_cache_hits = (
+            executor_after.exists_cache_hits - executor_before.exists_cache_hits
+        )
+        stats.exists_cache_misses = (
+            executor_after.exists_cache_misses - executor_before.exists_cache_misses
+        )
+        stats.join_index_hits = (
+            executor_after.join_index_hits - executor_before.join_index_hits
+        )
+        stats.join_index_builds = (
+            executor_after.join_index_builds - executor_before.join_index_builds
+        )
 
         confirmed_ids = set(scheduling.confirmed_candidate_ids)
         confirmed = [

@@ -30,6 +30,10 @@ class DiscoveryStats:
     implied_outcomes: int = 0
     num_confirmed: int = 0
     num_pruned: int = 0
+    exists_cache_hits: int = 0
+    exists_cache_misses: int = 0
+    join_index_hits: int = 0
+    join_index_builds: int = 0
     elapsed_seconds: float = 0.0
     related_column_seconds: float = 0.0
     candidate_seconds: float = 0.0
@@ -47,6 +51,10 @@ class DiscoveryStats:
             "implied_outcomes": self.implied_outcomes,
             "confirmed": self.num_confirmed,
             "pruned": self.num_pruned,
+            "exists_cache_hits": self.exists_cache_hits,
+            "exists_cache_misses": self.exists_cache_misses,
+            "join_index_hits": self.join_index_hits,
+            "join_index_builds": self.join_index_builds,
             "elapsed_seconds": self.elapsed_seconds,
             "timed_out": self.timed_out,
         }

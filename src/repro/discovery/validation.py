@@ -53,6 +53,21 @@ class FilterValidator:
             filter_.query.signature(),
         )
 
+    def _memo_key(self, filter_: Filter) -> tuple:
+        """Canonical (query, predicate) signature for the executor memo.
+
+        Unlike :meth:`_cache_key`, this keys on the *constraint contents*
+        rather than the sample index, so identical probes are shared
+        across samples, validators and discovery runs on one executor.
+        """
+        sample = self._spec.samples[filter_.sample_index]
+        constraints = tuple(
+            (projection_index, constraint)
+            for projection_index, position in enumerate(filter_.positions)
+            if (constraint := sample.cell(position)) is not None
+        )
+        return (filter_.query.signature(), constraints)
+
     def _predicates(self, filter_: Filter) -> dict[int, callable]:
         sample = self._spec.samples[filter_.sample_index]
         predicates: dict[int, callable] = {}
@@ -84,7 +99,11 @@ class FilterValidator:
 
     def _execute(self, filter_: Filter) -> bool:
         predicates = self._predicates(filter_)
-        return self._executor.exists(filter_.query, cell_predicates=predicates)
+        return self._executor.exists(
+            filter_.query,
+            cell_predicates=predicates,
+            cache_key=self._memo_key(filter_),
+        )
 
     @property
     def validations_performed(self) -> int:

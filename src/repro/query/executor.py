@@ -1,15 +1,26 @@
-"""Hash-join execution of Project-Join queries.
+"""Vectorized hash-join execution of Project-Join queries.
 
-The executor evaluates PJ queries against an in-memory :class:`Database`.
-It supports two features the discovery pipeline relies on heavily:
+The executor evaluates PJ queries against an in-memory :class:`Database`
+whose tables live in a columnar storage backend.  The execution model is
+column- and index-oriented:
 
-* **predicate pushdown** — per-projection cell predicates (derived from the
-  user's value constraints) are applied to base-table rows *before* joining,
-  which is both realistic (a DBMS would use its indexes the same way) and
-  essential for fast filter validation;
-* **early termination** — an optional ``limit`` stops execution as soon as
-  enough result rows have been produced, so existence checks cost close to
-  nothing when a match is found early.
+* **predicate pushdown over column arrays** — per-projection cell
+  predicates (derived from the user's value constraints) are evaluated
+  directly against base-table columns, producing row-index selections;
+  dictionary-encoded text columns evaluate each predicate once per
+  distinct value instead of once per row;
+* **reusable join indexes** — the value → row-indexes hash index for a
+  join key column is built once per (table, column) and cached on the
+  storage backend, so the thousands of existence probes issued during
+  filter validation reuse it instead of rebuilding hash tables per query
+  (hits and builds are counted in :class:`ExecutionStats`);
+* **lazy join evaluation with early termination** — join results are
+  produced as a stream of per-table row-index assignments, so an optional
+  ``limit`` (and in particular ``exists()``'s ``limit=1``) stops work at
+  the first match instead of materializing the full join;
+* **an existence-memo cache** — ``exists()`` outcomes can be memoized
+  under a caller-supplied canonical (query, predicate) signature and are
+  invalidated automatically when the database changes.
 
 Inner-join semantics follow SQL: NULL join keys never match.
 """
@@ -17,8 +28,8 @@ Inner-join semantics follow SQL: NULL join keys never match.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping, Optional, Sequence
+from dataclasses import dataclass
+from typing import Any, Callable, Iterator, Mapping, Optional, Sequence
 
 from repro.dataset.database import Database
 from repro.dataset.schema import ForeignKey
@@ -29,6 +40,14 @@ __all__ = ["Executor", "ExecutionStats"]
 
 CellPredicate = Callable[[Any], bool]
 
+# Selections are row-index lists; None means "every row" (no predicate).
+_Selection = Optional[list[int]]
+
+# Caps on the per-executor caches so a long-lived session over a static
+# database cannot grow without bound; oldest entries are evicted first.
+MAX_EXISTS_MEMO_ENTRIES = 100_000
+MAX_PLAN_CACHE_ENTRIES = 10_000
+
 
 @dataclass
 class ExecutionStats:
@@ -38,6 +57,10 @@ class ExecutionStats:
     rows_scanned: int = 0
     rows_emitted: int = 0
     joins_performed: int = 0
+    join_index_hits: int = 0
+    join_index_builds: int = 0
+    exists_cache_hits: int = 0
+    exists_cache_misses: int = 0
 
     def merge(self, other: "ExecutionStats") -> None:
         """Accumulate another stats object into this one."""
@@ -45,14 +68,78 @@ class ExecutionStats:
         self.rows_scanned += other.rows_scanned
         self.rows_emitted += other.rows_emitted
         self.joins_performed += other.joins_performed
+        self.join_index_hits += other.join_index_hits
+        self.join_index_builds += other.join_index_builds
+        self.exists_cache_hits += other.exists_cache_hits
+        self.exists_cache_misses += other.exists_cache_misses
+
+
+@dataclass(frozen=True)
+class _ProbeStep:
+    """One hash-join step: probe ``new_table``'s join index from the
+    already-joined ``existing_table`` side."""
+
+    existing_table: str
+    existing_position: int
+    new_table: str
+    new_position: int
+
+
+@dataclass(frozen=True)
+class _FilterStep:
+    """Both endpoints already joined: apply the edge as a post-filter."""
+
+    child_table: str
+    child_position: int
+    parent_table: str
+    parent_position: int
+
+
+@dataclass(frozen=True)
+class _JoinPlan:
+    """A query's join strategy (depends only on its structure, not data)."""
+
+    start_table: str
+    steps: tuple[Any, ...]  # _ProbeStep | _FilterStep
+
+
+class _ResolvedProbe:
+    """A _ProbeStep bound to this execution's index, readers and selection."""
+
+    __slots__ = ("existing_table", "existing_reader", "new_table", "index",
+                 "selection_set")
+
+    def __init__(self, existing_table, existing_reader, new_table, index,
+                 selection_set):
+        self.existing_table = existing_table
+        self.existing_reader = existing_reader
+        self.new_table = new_table
+        self.index = index
+        self.selection_set = selection_set
+
+
+class _ResolvedFilter:
+    """A _FilterStep bound to this execution's cell readers."""
+
+    __slots__ = ("child_table", "child_reader", "parent_table", "parent_reader")
+
+    def __init__(self, child_table, child_reader, parent_table, parent_reader):
+        self.child_table = child_table
+        self.child_reader = child_reader
+        self.parent_table = parent_table
+        self.parent_reader = parent_reader
 
 
 class Executor:
-    """Evaluates Project-Join queries with hash joins."""
+    """Evaluates Project-Join queries with cached, vectorized hash joins."""
 
     def __init__(self, database: Database):
         self._database = database
         self.stats = ExecutionStats()
+        self._plan_cache: dict[tuple, _JoinPlan] = {}
+        self._plan_schema_version: Optional[int] = None
+        self._exists_memo: dict[Any, bool] = {}
+        self._memo_data_version: Optional[tuple[int, int, int]] = None
 
     @property
     def database(self) -> Database:
@@ -77,32 +164,21 @@ class Executor:
                 predicate are excluded (and pruned before joining).
             limit: stop after this many result rows (None = no limit).
         """
-        query.validate(self._database)
-        self.stats.queries_executed += 1
-        predicates = dict(cell_predicates or {})
-        for position in predicates:
-            if position < 0 or position >= query.width:
-                raise QueryError(
-                    f"cell predicate position {position} out of range "
-                    f"for a query of width {query.width}"
-                )
-
-        per_table_rows = self._filtered_base_rows(query, predicates)
-        if per_table_rows is None:
+        prepared = self._prepare(query, cell_predicates)
+        if prepared is None or (limit is not None and limit <= 0):
             return []
+        selections, plan = prepared
 
-        join_order = self._join_order(query)
-        partials = self._join(query, per_table_rows, join_order)
+        projectors = [
+            (self._database.table(ref.table).cell_reader(ref.column), ref.table)
+            for ref in query.projections
+        ]
 
         results: list[tuple[Any, ...]] = []
-        for assignment in partials:
-            row = tuple(
-                assignment[ref.table][
-                    self._database.table(ref.table).column_position(ref.column)
-                ]
-                for ref in query.projections
+        for assignment in self._assignments(query, selections, plan):
+            results.append(
+                tuple(reader(assignment[table]) for reader, table in projectors)
             )
-            results.append(row)
             self.stats.rows_emitted += 1
             if limit is not None and len(results) >= limit:
                 break
@@ -112,54 +188,182 @@ class Executor:
         self,
         query: ProjectJoinQuery,
         cell_predicates: Optional[Mapping[int, CellPredicate]] = None,
+        cache_key: Optional[Any] = None,
     ) -> bool:
-        """Whether at least one result row satisfies all cell predicates."""
-        return bool(self.execute(query, cell_predicates=cell_predicates, limit=1))
+        """Whether at least one result row satisfies all cell predicates.
 
-    def count(self, query: ProjectJoinQuery) -> int:
-        """Number of result rows of ``query``."""
-        return len(self.execute(query))
+        Args:
+            query: the PJ query to probe.
+            cell_predicates: optional per-projection-position predicates.
+            cache_key: optional hashable canonical signature of
+                ``(query, cell_predicates)``.  When given, the outcome is
+                memoized on this executor and returned directly on repeat
+                probes; the memo is dropped whenever the database changes.
+                Callers must guarantee the key fully determines the probe.
+        """
+        if cache_key is None:
+            return bool(self.execute(query, cell_predicates=cell_predicates, limit=1))
+        memo = self._current_memo()
+        cached = memo.get(cache_key)
+        if cached is not None:
+            self.stats.exists_cache_hits += 1
+            return cached
+        self.stats.exists_cache_misses += 1
+        outcome = bool(self.execute(query, cell_predicates=cell_predicates, limit=1))
+        if len(memo) >= MAX_EXISTS_MEMO_ENTRIES:
+            del memo[next(iter(memo))]
+        memo[cache_key] = outcome
+        return outcome
+
+    def count(
+        self,
+        query: ProjectJoinQuery,
+        cell_predicates: Optional[Mapping[int, CellPredicate]] = None,
+    ) -> int:
+        """Number of result rows of ``query`` (no row materialization)."""
+        prepared = self._prepare(query, cell_predicates)
+        if prepared is None:
+            return 0
+        selections, plan = prepared
+        return sum(1 for _ in self._assignments(query, selections, plan))
 
     # ------------------------------------------------------------------
-    # Internals
+    # Preparation: validation, pushdown, planning
     # ------------------------------------------------------------------
-    def _filtered_base_rows(
+    def _prepare(
+        self,
+        query: ProjectJoinQuery,
+        cell_predicates: Optional[Mapping[int, CellPredicate]],
+    ) -> Optional[tuple[dict[str, _Selection], _JoinPlan]]:
+        """Validate, push predicates down and plan joins.
+
+        Returns ``None`` when pushdown proves the result empty.  Counts
+        the query and its scans in :attr:`stats` either way.
+        """
+        query.validate(self._database)
+        self.stats.queries_executed += 1
+        predicates = dict(cell_predicates or {})
+        for position in predicates:
+            if position < 0 or position >= query.width:
+                raise QueryError(
+                    f"cell predicate position {position} out of range "
+                    f"for a query of width {query.width}"
+                )
+        selections = self._pushdown(query, predicates)
+        if selections is None:
+            return None
+        return selections, self._plan(query)
+
+    def _pushdown(
         self,
         query: ProjectJoinQuery,
         predicates: Mapping[int, CellPredicate],
-    ) -> Optional[dict[str, list[tuple[Any, ...]]]]:
-        """Base rows per table after predicate pushdown.
+    ) -> Optional[dict[str, _Selection]]:
+        """Evaluate cell predicates against base-table columns.
 
-        Returns ``None`` when some table's filtered row set is empty, which
-        means the overall (inner-join) result is necessarily empty.
+        Returns per-table row-index selections (``None`` entry = all rows),
+        or ``None`` overall when some table's selection is empty — the
+        inner-join result is then necessarily empty.
         """
-        # Group predicates by (table, column position in base table).
-        per_table_predicates: dict[str, list[tuple[int, CellPredicate]]] = defaultdict(list)
+        per_table_predicates: dict[str, list[tuple[str, CellPredicate]]] = defaultdict(list)
         for position, predicate in predicates.items():
             ref = query.projections[position]
-            column_position = self._database.table(ref.table).column_position(ref.column)
-            per_table_predicates[ref.table].append((column_position, predicate))
+            per_table_predicates[ref.table].append((ref.column, predicate))
 
-        per_table_rows: dict[str, list[tuple[Any, ...]]] = {}
+        selections: dict[str, _Selection] = {}
         for table_name in query.tables:
             table = self._database.table(table_name)
-            rows = table.rows
-            self.stats.rows_scanned += len(rows)
+            self.stats.rows_scanned += table.num_rows
             checks = per_table_predicates.get(table_name)
-            if checks:
-                rows = [
-                    row
-                    for row in rows
-                    if all(
-                        row[column_position] is not None
-                        and predicate(row[column_position])
-                        for column_position, predicate in checks
-                    )
+            if not checks:
+                selections[table_name] = None
+                if table.num_rows == 0:
+                    return None
+                continue
+            column_name, predicate = checks[0]
+            selected = table.select_rows(column_name, predicate)
+            # Further predicates probe only the surviving rows rather than
+            # re-scanning the whole column.
+            for column_name, predicate in checks[1:]:
+                if not selected:
+                    break
+                read = table.cell_reader(column_name)
+                selected = [
+                    index
+                    for index in selected
+                    if (value := read(index)) is not None and predicate(value)
                 ]
-            if not rows:
+            if not selected:
                 return None
-            per_table_rows[table_name] = rows
-        return per_table_rows
+            selections[table_name] = selected
+        return selections
+
+    def _plan(self, query: ProjectJoinQuery) -> _JoinPlan:
+        """Resolve the join order into concrete probe/filter steps.
+
+        Plans depend only on query structure and the schema's column
+        layout, so they are cached by the query's canonical signature and
+        discarded whenever the database schema changes (a table dropped
+        and recreated under the same name may place columns differently).
+        """
+        schema_version = self._database.schema_version
+        if schema_version != self._plan_schema_version:
+            self._plan_cache.clear()
+            self._plan_schema_version = schema_version
+        signature = query.signature()
+        plan = self._plan_cache.get(signature)
+        if plan is not None:
+            return plan
+
+        join_order = self._join_order(query)
+        if not join_order:
+            plan = _JoinPlan(next(iter(query.tables)), ())
+        else:
+            start_table = join_order[0].tables()[0]
+            joined = {start_table}
+            steps: list[Any] = []
+            for edge in join_order:
+                left, right = edge.tables()
+                if left in joined and right in joined:
+                    # Both sides already joined (cannot happen for trees,
+                    # but be defensive): apply the edge as a post-filter.
+                    steps.append(
+                        _FilterStep(
+                            edge.child_table,
+                            self._column_position(edge.child_table, edge.child_column),
+                            edge.parent_table,
+                            self._column_position(edge.parent_table, edge.parent_column),
+                        )
+                    )
+                    continue
+                if left in joined:
+                    existing_table, new_table = left, right
+                elif right in joined:
+                    existing_table, new_table = right, left
+                else:
+                    # Neither endpoint joined yet — cannot happen when
+                    # _join_order succeeded; guard anyway.
+                    raise QueryError("disconnected join order")
+                existing_column, new_column = self._edge_columns(
+                    edge, existing_table, new_table
+                )
+                steps.append(
+                    _ProbeStep(
+                        existing_table,
+                        self._column_position(existing_table, existing_column),
+                        new_table,
+                        self._column_position(new_table, new_column),
+                    )
+                )
+                joined.add(new_table)
+            plan = _JoinPlan(start_table, tuple(steps))
+        if len(self._plan_cache) >= MAX_PLAN_CACHE_ENTRIES:
+            del self._plan_cache[next(iter(self._plan_cache))]
+        self._plan_cache[signature] = plan
+        return plan
+
+    def _column_position(self, table: str, column: str) -> int:
+        return self._database.table(table).column_position(column)
 
     def _join_order(self, query: ProjectJoinQuery) -> list[ForeignKey]:
         """Order join edges so each edge touches an already-joined table."""
@@ -185,75 +389,6 @@ class Executor:
                 raise QueryError("join edges do not form a connected tree")
         return ordered
 
-    def _join(
-        self,
-        query: ProjectJoinQuery,
-        per_table_rows: dict[str, list[tuple[Any, ...]]],
-        join_order: Sequence[ForeignKey],
-    ) -> list[dict[str, tuple[Any, ...]]]:
-        """Perform the hash joins, returning per-table row assignments."""
-        if not join_order:
-            only_table = next(iter(query.tables))
-            return [{only_table: row} for row in per_table_rows[only_table]]
-
-        first_left, first_right = join_order[0].tables()
-        start_table = first_left
-        partials: list[dict[str, tuple[Any, ...]]] = [
-            {start_table: row} for row in per_table_rows[start_table]
-        ]
-        joined_tables = {start_table}
-
-        for edge in join_order:
-            left, right = edge.tables()
-            if left in joined_tables and right in joined_tables:
-                # Both sides already joined (cannot happen for trees, but be
-                # defensive): apply the condition as a post-filter.
-                partials = [
-                    assignment
-                    for assignment in partials
-                    if self._edge_matches(assignment, edge)
-                ]
-                continue
-            if left in joined_tables:
-                existing_table, new_table = left, right
-            else:
-                existing_table, new_table = right, left
-                if right not in joined_tables:
-                    # Neither endpoint joined yet — cannot happen when
-                    # _join_order succeeded; guard anyway.
-                    raise QueryError("disconnected join order")
-
-            existing_column, new_column = self._edge_columns(
-                edge, existing_table, new_table
-            )
-            new_table_obj = self._database.table(new_table)
-            new_position = new_table_obj.column_position(new_column)
-            hash_table: dict[Any, list[tuple[Any, ...]]] = defaultdict(list)
-            for row in per_table_rows[new_table]:
-                key = row[new_position]
-                if key is None:
-                    continue
-                hash_table[key].append(row)
-
-            existing_position = self._database.table(existing_table).column_position(
-                existing_column
-            )
-            next_partials: list[dict[str, tuple[Any, ...]]] = []
-            for assignment in partials:
-                key = assignment[existing_table][existing_position]
-                if key is None:
-                    continue
-                for row in hash_table.get(key, ()):
-                    extended = dict(assignment)
-                    extended[new_table] = row
-                    next_partials.append(extended)
-            partials = next_partials
-            joined_tables.add(new_table)
-            self.stats.joins_performed += 1
-            if not partials:
-                return []
-        return partials
-
     def _edge_columns(
         self, edge: ForeignKey, existing_table: str, new_table: str
     ) -> tuple[str, str]:
@@ -265,17 +400,132 @@ class Executor:
             f"join edge {edge} does not connect {existing_table} and {new_table}"
         )
 
-    def _edge_matches(
-        self, assignment: dict[str, tuple[Any, ...]], edge: ForeignKey
-    ) -> bool:
-        child_row = assignment[edge.child_table]
-        parent_row = assignment[edge.parent_table]
-        child_value = child_row[
-            self._database.table(edge.child_table).column_position(edge.child_column)
-        ]
-        parent_value = parent_row[
-            self._database.table(edge.parent_table).column_position(edge.parent_column)
-        ]
-        if child_value is None or parent_value is None:
-            return False
-        return child_value == parent_value
+    # ------------------------------------------------------------------
+    # Lazy join evaluation
+    # ------------------------------------------------------------------
+    def _join_index(self, table: str, position: int) -> Mapping[Any, Sequence[int]]:
+        """The backend's cached join index, with hit/build accounting."""
+        backend = self._database.table(table).backend
+        if backend.has_cached_join_index(table, position):
+            self.stats.join_index_hits += 1
+        else:
+            self.stats.join_index_builds += 1
+        return backend.join_index(table, position)
+
+    def _assignments(
+        self,
+        query: ProjectJoinQuery,
+        selections: dict[str, _Selection],
+        plan: _JoinPlan,
+    ) -> Iterator[dict[str, int]]:
+        """Stream per-table row-index assignments satisfying all joins.
+
+        The stream is lazy end to end: a consumer that stops early (e.g. an
+        existence probe) leaves the remaining join work undone.  For speed
+        a single assignment dict is reused and mutated in place — consumers
+        must extract what they need before advancing the iterator.
+        """
+        start = plan.start_table
+        start_selection = selections[start]
+        if start_selection is None:
+            start_rows: Sequence[int] = range(
+                self._database.table(start).num_rows
+            )
+        else:
+            start_rows = start_selection
+
+        assignment: dict[str, int] = {}
+        if not plan.steps:
+            for row_index in start_rows:
+                assignment[start] = row_index
+                yield assignment
+            return
+
+        # Resolve each step's runtime machinery once per execution.
+        resolved: list[Any] = []
+        for step in plan.steps:
+            if isinstance(step, _ProbeStep):
+                selection = selections[step.new_table]
+                resolved.append(
+                    _ResolvedProbe(
+                        step.existing_table,
+                        self._database.table(step.existing_table).backend.cell_reader(
+                            step.existing_table, step.existing_position
+                        ),
+                        step.new_table,
+                        self._join_index(step.new_table, step.new_position),
+                        None if selection is None else set(selection),
+                    )
+                )
+                self.stats.joins_performed += 1
+            else:
+                resolved.append(
+                    _ResolvedFilter(
+                        step.child_table,
+                        self._database.table(step.child_table).backend.cell_reader(
+                            step.child_table, step.child_position
+                        ),
+                        step.parent_table,
+                        self._database.table(step.parent_table).backend.cell_reader(
+                            step.parent_table, step.parent_position
+                        ),
+                    )
+                )
+        last_depth = len(resolved) - 1
+
+        def extend(depth: int) -> Iterator[dict[str, int]]:
+            step = resolved[depth]
+            if isinstance(step, _ResolvedProbe):
+                key = step.existing_reader(assignment[step.existing_table])
+                if key is None:
+                    return
+                rows = step.index.get(key)
+                if not rows:
+                    return
+                new_table = step.new_table
+                selection_set = step.selection_set
+                if depth == last_depth:
+                    for row_index in rows:
+                        if selection_set is not None and row_index not in selection_set:
+                            continue
+                        assignment[new_table] = row_index
+                        yield assignment
+                else:
+                    for row_index in rows:
+                        if selection_set is not None and row_index not in selection_set:
+                            continue
+                        assignment[new_table] = row_index
+                        yield from extend(depth + 1)
+            else:
+                child_value = step.child_reader(assignment[step.child_table])
+                parent_value = step.parent_reader(assignment[step.parent_table])
+                if (
+                    child_value is not None
+                    and parent_value is not None
+                    and child_value == parent_value
+                ):
+                    if depth == last_depth:
+                        yield assignment
+                    else:
+                        yield from extend(depth + 1)
+
+        for row_index in start_rows:
+            assignment.clear()
+            assignment[start] = row_index
+            yield from extend(0)
+
+    # ------------------------------------------------------------------
+    # Existence-memo cache
+    # ------------------------------------------------------------------
+    def _current_memo(self) -> dict[Any, bool]:
+        """The memo dict, cleared whenever the database has changed."""
+        version = self._database.data_version
+        if version != self._memo_data_version:
+            self._exists_memo.clear()
+            self._memo_data_version = version
+        return self._exists_memo
+
+    @property
+    def exists_memo_size(self) -> int:
+        """Number of memoized existence outcomes currently held."""
+        return len(self._exists_memo)

@@ -1,0 +1,18 @@
+"""Pluggable columnar storage backends.
+
+The engine's relations live behind a :class:`StorageBackend`: tables are
+registered with their schema, rows are appended as prepared (validated,
+coerced) tuples, and every consumer above — the inverted index, the
+metadata catalog, the Bayesian trainers and the query executor — reads
+either whole columns or individual cells through the backend interface.
+
+The default backend is :class:`ColumnStore`, which keeps each table as
+typed column arrays with dictionary encoding for text columns, per-column
+NULL masks, and a cache of join-key hash indexes that the executor reuses
+across queries instead of rebuilding per join.
+"""
+
+from repro.storage.backend import StorageBackend
+from repro.storage.column_store import ColumnStore
+
+__all__ = ["StorageBackend", "ColumnStore"]

@@ -1,0 +1,320 @@
+"""The default columnar storage backend.
+
+Each table is stored as one array per column instead of a list of row
+tuples:
+
+* **text columns are dictionary-encoded** — a cell is an integer code into
+  a per-column dictionary of distinct strings (NULL is code ``-1``), so
+  repeated strings cost one int and per-distinct-value work (normalizing,
+  tokenizing, predicate evaluation) is done once per dictionary entry
+  instead of once per row;
+* **every column keeps a NULL mask** and running NULL count;
+* **join-key hash indexes** (value → row indexes) are built lazily, cached
+  per (table, column) and invalidated on write, so repeated joins and
+  existence probes reuse them instead of rebuilding hash tables per query.
+
+The tuple-oriented API (``rows()``/``row()``) is a compatibility layer:
+tuples are materialized lazily and cached until the next write.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Callable, Mapping, Optional, Sequence
+
+from repro.dataset.types import DataType
+from repro.errors import SchemaError
+from repro.storage.backend import CellReader, StorageBackend
+
+__all__ = ["ColumnStore"]
+
+_NULL_CODE = -1
+
+
+class _ColumnData:
+    """Physical storage of one column."""
+
+    __slots__ = ("data_type", "is_text", "values", "codes", "dictionary",
+                 "code_of", "nulls", "null_count")
+
+    def __init__(self, data_type: DataType):
+        self.data_type = data_type
+        self.is_text = data_type is DataType.TEXT
+        if self.is_text:
+            self.values: Optional[list[Any]] = None
+            self.codes: list[int] = []
+            self.dictionary: list[str] = []
+            self.code_of: dict[str, int] = {}
+        else:
+            self.values = []
+            self.codes = []
+            self.dictionary = []
+            self.code_of = {}
+        self.nulls: list[bool] = []
+        self.null_count = 0
+
+    def append(self, value: Any) -> None:
+        is_null = value is None
+        self.nulls.append(is_null)
+        if is_null:
+            self.null_count += 1
+        if self.is_text:
+            if is_null:
+                self.codes.append(_NULL_CODE)
+                return
+            code = self.code_of.get(value)
+            if code is None:
+                code = len(self.dictionary)
+                self.code_of[value] = code
+                self.dictionary.append(value)
+            self.codes.append(code)
+        else:
+            self.values.append(value)
+
+    def get(self, row_index: int) -> Any:
+        if self.is_text:
+            code = self.codes[row_index]
+            return None if code < 0 else self.dictionary[code]
+        return self.values[row_index]
+
+    def decoded(self) -> list[Any]:
+        """All values in row order, NULLs included."""
+        if not self.is_text:
+            return list(self.values)
+        dictionary = self.dictionary
+        return [None if code < 0 else dictionary[code] for code in self.codes]
+
+    def reader(self) -> CellReader:
+        if not self.is_text:
+            values = self.values
+            return values.__getitem__
+        codes = self.codes
+        dictionary = self.dictionary
+
+        def read(row_index: int) -> Any:
+            code = codes[row_index]
+            return None if code < 0 else dictionary[code]
+
+        return read
+
+
+class _TableStore:
+    """All columns of one table plus its derived caches."""
+
+    __slots__ = ("name", "columns", "num_rows", "version",
+                 "_rows_cache", "_join_indexes")
+
+    def __init__(self, name: str, columns: Sequence[Any]):
+        self.name = name
+        self.columns = [_ColumnData(column.data_type) for column in columns]
+        self.num_rows = 0
+        self.version = 0
+        self._rows_cache: Optional[list[tuple[Any, ...]]] = None
+        self._join_indexes: dict[int, dict[Any, list[int]]] = {}
+
+    def append(self, prepared: Sequence[Any]) -> None:
+        for column, value in zip(self.columns, prepared):
+            column.append(value)
+        self.num_rows += 1
+        self.version += 1
+        self._rows_cache = None
+        self._join_indexes.clear()
+
+    def row(self, index: int) -> tuple[Any, ...]:
+        if self._rows_cache is not None:
+            return self._rows_cache[index]
+        if index < 0:
+            index += self.num_rows
+        if not 0 <= index < self.num_rows:
+            raise IndexError(f"row index {index} out of range")
+        return tuple(column.get(index) for column in self.columns)
+
+    def rows(self) -> list[tuple[Any, ...]]:
+        if self._rows_cache is None:
+            # Tables always have >= 1 column (enforced by Table), so
+            # zip(*columns) covers every case including zero rows.
+            self._rows_cache = list(
+                zip(*(column.decoded() for column in self.columns))
+            )
+        return self._rows_cache
+
+    def join_index(self, position: int) -> dict[Any, list[int]]:
+        index = self._join_indexes.get(position)
+        if index is None:
+            index = {}
+            column = self.columns[position]
+            if column.is_text:
+                dictionary = column.dictionary
+                per_code: list[list[int]] = [[] for _ in dictionary]
+                for row_index, code in enumerate(column.codes):
+                    if code >= 0:
+                        per_code[code].append(row_index)
+                for code, value in enumerate(dictionary):
+                    if per_code[code]:
+                        index[value] = per_code[code]
+            else:
+                for row_index, value in enumerate(column.values):
+                    if value is None:
+                        continue
+                    bucket = index.get(value)
+                    if bucket is None:
+                        index[value] = [row_index]
+                    else:
+                        bucket.append(row_index)
+            self._join_indexes[position] = index
+        return index
+
+    def select_rows(
+        self, position: int, predicate: Callable[[Any], bool]
+    ) -> list[int]:
+        column = self.columns[position]
+        if column.is_text:
+            # Evaluate the predicate once per distinct value, then scan the
+            # integer codes — the win that pays for dictionary encoding.
+            matching = {
+                code
+                for code, value in enumerate(column.dictionary)
+                if predicate(value)
+            }
+            if not matching:
+                return []
+            return [
+                row_index
+                for row_index, code in enumerate(column.codes)
+                if code in matching
+            ]
+        return [
+            row_index
+            for row_index, value in enumerate(column.values)
+            if value is not None and predicate(value)
+        ]
+
+
+class ColumnStore(StorageBackend):
+    """In-memory dictionary-encoding columnar backend (the default)."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, _TableStore] = {}
+
+    # ------------------------------------------------------------------
+    # Table lifecycle
+    # ------------------------------------------------------------------
+    def register_table(self, name: str, columns: Sequence[Any]) -> None:
+        if name in self._tables:
+            raise SchemaError(
+                f"table {name!r} is already registered with this backend"
+            )
+        self._tables[name] = _TableStore(name, columns)
+
+    def drop_table(self, name: str) -> None:
+        self._tables.pop(name, None)
+
+    def detach_table(self, name: str) -> "ColumnStore":
+        detached = ColumnStore()
+        store = self._tables.pop(name, None)
+        if store is not None:
+            detached._tables[name] = store
+        return detached
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def _store(self, name: str) -> _TableStore:
+        try:
+            return self._tables[name]
+        except KeyError as exc:
+            raise SchemaError(
+                f"table {name!r} is not registered with this backend"
+            ) from exc
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def append_row(self, table: str, prepared: Sequence[Any]) -> None:
+        self._store(table).append(prepared)
+
+    # ------------------------------------------------------------------
+    # Row-oriented reads
+    # ------------------------------------------------------------------
+    def num_rows(self, table: str) -> int:
+        return self._store(table).num_rows
+
+    def row(self, table: str, index: int) -> tuple[Any, ...]:
+        return self._store(table).row(index)
+
+    def rows(self, table: str) -> list[tuple[Any, ...]]:
+        return self._store(table).rows()
+
+    def cell(self, table: str, row_index: int, position: int) -> Any:
+        return self._store(table).columns[position].get(row_index)
+
+    def cell_reader(self, table: str, position: int) -> CellReader:
+        return self._store(table).columns[position].reader()
+
+    # ------------------------------------------------------------------
+    # Column-oriented reads
+    # ------------------------------------------------------------------
+    def column_values(self, table: str, position: int) -> list[Any]:
+        return self._store(table).columns[position].decoded()
+
+    def null_mask(self, table: str, position: int) -> list[bool]:
+        return list(self._store(table).columns[position].nulls)
+
+    def null_count(self, table: str, position: int) -> int:
+        return self._store(table).columns[position].null_count
+
+    def distinct_values(self, table: str, position: int) -> set[Any]:
+        column = self._store(table).columns[position]
+        if column.is_text:
+            return set(column.dictionary)
+        return {value for value in column.values if value is not None}
+
+    def distinct_count(self, table: str, position: int) -> int:
+        column = self._store(table).columns[position]
+        if column.is_text:
+            # Every dictionary entry was inserted at least once and rows are
+            # never deleted, so the dictionary *is* the distinct set.
+            return len(column.dictionary)
+        return len(self.distinct_values(table, position))
+
+    def value_counts(self, table: str, position: int) -> dict[Any, int]:
+        column = self._store(table).columns[position]
+        if column.is_text:
+            code_counts = Counter(code for code in column.codes if code >= 0)
+            dictionary = column.dictionary
+            return {dictionary[code]: count for code, count in code_counts.items()}
+        return dict(Counter(value for value in column.values if value is not None))
+
+    def text_dictionary(self, table: str, position: int) -> Optional[list[str]]:
+        column = self._store(table).columns[position]
+        return column.dictionary if column.is_text else None
+
+    def text_column_codes(
+        self, table: str, position: int
+    ) -> Optional[tuple[list[int], list[str]]]:
+        column = self._store(table).columns[position]
+        if not column.is_text:
+            return None
+        return column.codes, column.dictionary
+
+    # ------------------------------------------------------------------
+    # Scans and indexes
+    # ------------------------------------------------------------------
+    def select_rows(
+        self, table: str, position: int, predicate: Callable[[Any], bool]
+    ) -> list[int]:
+        return self._store(table).select_rows(position, predicate)
+
+    def join_index(
+        self, table: str, position: int
+    ) -> Mapping[Any, Sequence[int]]:
+        return self._store(table).join_index(position)
+
+    def has_cached_join_index(self, table: str, position: int) -> bool:
+        return position in self._store(table)._join_indexes
+
+    # ------------------------------------------------------------------
+    # Versioning
+    # ------------------------------------------------------------------
+    def version(self, table: str) -> int:
+        return self._store(table).version

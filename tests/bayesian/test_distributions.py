@@ -104,3 +104,40 @@ class TestConstraintProbability:
     def test_probabilities_stay_in_unit_interval(self, city_distribution):
         big_union = OneOf(["Ann Arbor", "Detroit", "Chicago", "Ann Arbor"])
         assert 0.0 <= city_distribution.match_probability(big_union) <= 1.0
+
+
+class TestFromCounts:
+    def test_text_from_counts_matches_row_wise_fit(self):
+        values = ["Lake Tahoe", "Reno", "Reno", None, "Lake Tahoe", "Tahoe City"]
+        row_wise = ColumnDistribution("c", DataType.TEXT, values)
+        counts = {"Lake Tahoe": 2, "Reno": 2, "Tahoe City": 1}
+        from_counts = ColumnDistribution.from_counts(
+            "c", DataType.TEXT, len(values), counts
+        )
+        assert from_counts._frequencies == row_wise._frequencies
+        assert from_counts._token_frequencies == row_wise._token_frequencies
+        assert from_counts.null_fraction == row_wise.null_fraction
+        for probe in ("Reno", "Tahoe", "Lake Tahoe", "unseen"):
+            assert from_counts.value_probability(probe) == pytest.approx(
+                row_wise.value_probability(probe)
+            )
+
+    def test_numeric_from_counts_matches_row_wise_fit(self):
+        values = [10, 10, 20, None, 40]
+        row_wise = ColumnDistribution("n", DataType.INT, values)
+        from_counts = ColumnDistribution.from_counts(
+            "n", DataType.INT, len(values), {10: 2, 20: 1, 40: 1}
+        )
+        assert sorted(from_counts._numeric.tolist()) == sorted(
+            row_wise._numeric.tolist()
+        )
+        for low, high in ((None, 15), (15, None), (10, 40)):
+            assert from_counts.range_probability(low, high) == pytest.approx(
+                row_wise.range_probability(low, high)
+            )
+
+    def test_row_wise_fit_keeps_cross_type_values_distinct(self):
+        # True == 1 in Python, but normalization must see each raw value:
+        # a row-wise fit may not pre-aggregate by hash.
+        dist = ColumnDistribution("c", DataType.TEXT, [True, 1, "1"])
+        assert dist._frequencies == {"true": 1, "1": 2}

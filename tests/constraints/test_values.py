@@ -191,3 +191,31 @@ class TestAnyValue:
 
     def test_describe(self):
         assert AnyValue().describe() == "*"
+
+
+class TestConstraintIdentityTypes:
+    """Constraint identity must not collide across Python's cross-type
+    equalities (True == 1, 1 == 1.0): matching semantics differ, and the
+    keys feed hashing and the executor's existence-memo cache."""
+
+    def test_bool_and_int_exact_values_are_distinct(self):
+        assert ExactValue(1) != ExactValue(True)
+        assert hash(ExactValue(1)) != hash(ExactValue(True))
+        # Sanity: their matching semantics genuinely differ.
+        assert ExactValue(1).matches(1)
+        assert not ExactValue(True).matches(1)
+
+    def test_int_and_float_exact_values_are_distinct(self):
+        assert ExactValue(1) != ExactValue(1.0)
+        # They differ on text cells: "1" vs "1.0" keyword matching.
+        assert ExactValue(1).matches("1")
+        assert not ExactValue(1.0).matches("1")
+
+    def test_one_of_and_predicate_keys_are_typed(self):
+        assert OneOf([1, 2]) != OneOf([True, 2])
+        assert Predicate("==", 1) != Predicate("==", True)
+
+    def test_equal_constraints_still_compare_equal(self):
+        assert ExactValue(1) == ExactValue(1)
+        assert OneOf(["a", "b"]) == OneOf(["a", "b"])
+        assert hash(Range(1, 5)) == hash(Range(1, 5))

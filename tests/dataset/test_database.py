@@ -101,3 +101,24 @@ class TestColumnHelpers:
         assert company_db.total_rows == 4 + 6 + 4 + 7
         summary = company_db.summary()
         assert summary["Employee"] == {"columns": 5, "rows": 6}
+
+
+class TestDropAndRecreate:
+    def test_stale_table_handle_stays_isolated(self, company_db):
+        from repro.dataset.schema import Column
+        from repro.dataset.types import DataType
+
+        stale = company_db.table("Project")
+        old_rows = list(stale.rows)
+        company_db.drop_table("Project")
+        fresh = company_db.create_table(
+            "Project", [Column("Number", DataType.INT)]
+        )
+        fresh.insert((42,))
+        # The stale handle keeps its own data and schema...
+        assert stale.rows == old_rows
+        assert stale.column_values("Title")[0] == "Query Optimizer"
+        # ...and writes to it never leak into the successor table.
+        stale.insert(("P9", "Side Project", 1_000.0))
+        assert fresh.rows == [(42,)]
+        assert company_db.table("Project") is fresh

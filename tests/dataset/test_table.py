@@ -118,3 +118,21 @@ class TestAccess:
     def test_select_all_columns_by_default(self, lakes_table):
         rows = lakes_table.select(where={"Name": "Mono Lake"})
         assert rows == [("Mono Lake", 183.0, None)]
+
+
+class TestInsertManyDiagnostics:
+    def test_failure_reports_row_index(self, lakes_table):
+        with pytest.raises(DataError, match=r"row 2:"):
+            lakes_table.insert_many(
+                [
+                    ("Good Lake", 1.0, 1.0),
+                    ("Also Fine", 2.0, 2.0),
+                    ("Bad Lake", "not a number", 3.0),
+                ]
+            )
+        # Rows before the failure were inserted (partial bulk load).
+        assert lakes_table.num_rows == 5
+
+    def test_failure_reports_row_index_for_arity_errors(self, lakes_table):
+        with pytest.raises(DataError, match=r"row 0:"):
+            lakes_table.insert_many([("Too", 1.0)])

@@ -203,3 +203,31 @@ class TestMondialMotivatingExample:
         assert any(
             "Lake.Area" in sql and "geo_lake.Province" in sql for sql in result.sql()
         )
+
+
+class TestCacheObservability:
+    def test_discovery_stats_surface_executor_cache_counters(self, company_db):
+        engine = Prism(company_db)
+        spec = MappingSpec(2)
+        spec.add_sample_cells(
+            [ExactValue("Engineering"), ExactValue("Query Optimizer")]
+        )
+        first = engine.discover(spec)
+        stats = first.stats.as_dict()
+        for key in (
+            "exists_cache_hits",
+            "exists_cache_misses",
+            "join_index_hits",
+            "join_index_builds",
+        ):
+            assert key in stats
+        # The validation stage runs real probes on a cold cache.
+        assert first.stats.exists_cache_misses > 0
+
+        # A repeated discovery on the same engine answers its probes from
+        # the executor's existence memo and reuses cached join indexes.
+        second = engine.discover(spec)
+        assert second.stats.exists_cache_hits > 0
+        assert second.stats.exists_cache_misses == 0
+        assert second.stats.join_index_builds == 0
+        assert second.queries == first.queries

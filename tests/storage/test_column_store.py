@@ -1,0 +1,145 @@
+"""Unit tests for the columnar storage backend."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataset.schema import Column
+from repro.dataset.table import Table
+from repro.dataset.types import DataType
+from repro.errors import SchemaError
+from repro.storage import ColumnStore
+
+
+@pytest.fixture()
+def store_and_table():
+    backend = ColumnStore()
+    table = Table(
+        "Cities",
+        [
+            Column("Name", DataType.TEXT),
+            Column("State", DataType.TEXT),
+            Column("Population", DataType.INT),
+        ],
+        backend=backend,
+    )
+    table.insert_many(
+        [
+            ("Reno", "Nevada", 264_000),
+            ("Fresno", "California", 542_000),
+            ("Oakland", "California", 440_000),
+            ("Elko", "Nevada", None),
+            (None, "Nevada", 100),
+        ]
+    )
+    return backend, table
+
+
+class TestDictionaryEncoding:
+    def test_text_columns_are_dictionary_encoded(self, store_and_table):
+        __, table = store_and_table
+        codes, dictionary = table.text_column_codes("State")
+        assert dictionary == ["Nevada", "California"]  # first-seen order
+        assert codes == [0, 1, 1, 0, 0]
+
+    def test_null_text_cells_carry_negative_code(self, store_and_table):
+        __, table = store_and_table
+        codes, __ = table.text_column_codes("Name")
+        assert codes[4] < 0
+
+    def test_non_text_columns_are_not_encoded(self, store_and_table):
+        __, table = store_and_table
+        assert table.text_column_codes("Population") is None
+        assert table.text_dictionary("Population") is None
+
+    def test_decoding_round_trips(self, store_and_table):
+        __, table = store_and_table
+        assert table.column_values("State") == [
+            "Nevada", "California", "California", "Nevada", "Nevada",
+        ]
+        assert table.rows[3] == ("Elko", "Nevada", None)
+        assert table.row(4) == (None, "Nevada", 100)
+
+
+class TestNullMasks:
+    def test_null_mask_and_count(self, store_and_table):
+        __, table = store_and_table
+        assert table.null_mask("Population") == [False, False, False, True, False]
+        assert table.null_count("Population") == 1
+        assert table.null_count("State") == 0
+
+    def test_text_null_mask(self, store_and_table):
+        __, table = store_and_table
+        assert table.null_mask("Name") == [False, False, False, False, True]
+
+
+class TestColumnStatsAccess:
+    def test_distinct_count_uses_dictionary(self, store_and_table):
+        __, table = store_and_table
+        assert table.distinct_count("State") == 2
+        assert table.distinct_values("State") == {"Nevada", "California"}
+
+    def test_value_counts(self, store_and_table):
+        __, table = store_and_table
+        assert table.value_counts("State") == {"Nevada": 3, "California": 2}
+        assert table.value_counts("Population") == {
+            264_000: 1, 542_000: 1, 440_000: 1, 100: 1,
+        }
+
+    def test_select_rows_vectorizes_over_dictionary(self, store_and_table):
+        __, table = store_and_table
+        assert table.select_rows("State", lambda v: v == "Nevada") == [0, 3, 4]
+        assert table.select_rows("Population", lambda v: v > 400_000) == [1, 2]
+
+    def test_select_rows_never_matches_nulls(self, store_and_table):
+        __, table = store_and_table
+        assert table.select_rows("Population", lambda v: True) == [0, 1, 2, 4]
+
+
+class TestJoinIndexCache:
+    def test_join_index_maps_values_to_row_indexes(self, store_and_table):
+        __, table = store_and_table
+        index = table.join_index("State")
+        assert index["Nevada"] == [0, 3, 4]
+        assert index["California"] == [1, 2]
+
+    def test_join_index_excludes_nulls(self, store_and_table):
+        __, table = store_and_table
+        index = table.join_index("Population")
+        assert None not in index
+        assert sum(len(rows) for rows in index.values()) == 4
+
+    def test_join_index_is_cached(self, store_and_table):
+        __, table = store_and_table
+        assert not table.has_cached_join_index("State")
+        first = table.join_index("State")
+        assert table.has_cached_join_index("State")
+        assert table.join_index("State") is first
+
+    def test_insert_invalidates_join_index_and_rows_cache(self, store_and_table):
+        __, table = store_and_table
+        table.join_index("State")
+        before = table.storage_version
+        table.insert(("Sparks", "Nevada", 108_000))
+        assert not table.has_cached_join_index("State")
+        assert table.storage_version > before
+        assert table.join_index("State")["Nevada"] == [0, 3, 4, 5]
+        assert table.rows[5] == ("Sparks", "Nevada", 108_000)
+
+
+class TestBackendLifecycle:
+    def test_duplicate_registration_rejected(self, store_and_table):
+        backend, __ = store_and_table
+        with pytest.raises(SchemaError):
+            Table("Cities", [Column("X", DataType.INT)], backend=backend)
+
+    def test_unknown_table_rejected(self):
+        backend = ColumnStore()
+        with pytest.raises(SchemaError):
+            backend.num_rows("Ghost")
+
+    def test_drop_frees_the_name(self, store_and_table):
+        backend, __ = store_and_table
+        backend.drop_table("Cities")
+        assert not backend.has_table("Cities")
+        Table("Cities", [Column("X", DataType.INT)], backend=backend)
