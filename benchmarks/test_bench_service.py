@@ -1,0 +1,102 @@
+"""Service-layer benchmark: single-thread vs pooled serving throughput.
+
+Drives the built-in mixed-database demo workload through one
+:class:`~repro.service.DiscoveryService` twice — once synchronously on the
+calling thread (``execute``), once through the worker pool (``run_batch``)
+— over a pre-warmed artifact store, so the numbers isolate the serving
+path from preprocessing.  Requests/second for both modes are written to
+``benchmarks/reports/service_throughput.txt``.
+
+CPython's GIL bounds the parallel speedup for this pure-Python engine;
+the pooled number is still the honest serving figure because it includes
+queueing, dispatch and metrics overhead under concurrency.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import BENCH_LIMITS, write_report
+from repro.service import ArtifactStore, DiscoveryService, demo_requests
+
+ROUNDS = 2  # 2 x 3 databases = 6 requests per measured batch
+WORKERS = 4
+
+_RESULTS: dict[str, float] = {}
+
+
+@pytest.fixture(scope="module")
+def warm_service():
+    """A started service whose artifact store is already warm."""
+    store = ArtifactStore()
+    service = DiscoveryService(
+        store=store,
+        num_workers=WORKERS,
+        queue_size=64,
+        limits=BENCH_LIMITS,
+    )
+    service.start()
+    # Warm every bundle so the measured paths are pure serving.
+    for request in demo_requests(rounds=1):
+        response = service.execute(request)
+        assert response.ok
+    yield service
+    service.shutdown()
+
+
+def _requests():
+    return demo_requests(rounds=ROUNDS)
+
+
+def test_bench_service_single_thread(benchmark, warm_service):
+    requests = _requests()
+
+    def serve_serially():
+        responses = [warm_service.execute(request) for request in requests]
+        assert all(response.ok for response in responses)
+        return responses
+
+    started = time.perf_counter()
+    benchmark.pedantic(serve_serially, rounds=3, iterations=1)
+    elapsed = time.perf_counter() - started
+    _RESULTS["single_rps"] = (3 * len(requests)) / elapsed
+    benchmark.extra_info["requests"] = len(requests)
+
+
+def test_bench_service_worker_pool(benchmark, warm_service):
+    requests = _requests()
+
+    def serve_pooled():
+        responses = warm_service.run_batch(requests)
+        assert all(response.ok for response in responses)
+        return responses
+
+    started = time.perf_counter()
+    benchmark.pedantic(serve_pooled, rounds=3, iterations=1)
+    elapsed = time.perf_counter() - started
+    _RESULTS["pooled_rps"] = (3 * len(requests)) / elapsed
+    benchmark.extra_info["workers"] = WORKERS
+    # The artifact store never rebuilt during serving.
+    assert warm_service.store.stats.builds == 3
+
+
+def test_bench_service_report(benchmark, warm_service):
+    if "single_rps" not in _RESULTS or "pooled_rps" not in _RESULTS:
+        pytest.skip("throughput benchmarks did not run")
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    metrics = warm_service.metrics()
+    artifacts = metrics.artifacts
+    lines = [
+        "Service throughput: single-thread execute() vs worker-pool run_batch()",
+        f"workload: {ROUNDS * 3} mixed-database requests "
+        f"(mondial/imdb/nba), {WORKERS} workers",
+        f"single-thread: {_RESULTS['single_rps']:.1f} requests/s",
+        f"worker-pool:   {_RESULTS['pooled_rps']:.1f} requests/s",
+        f"artifact store: {artifacts['builds']} builds, "
+        f"{artifacts['hits']} hits (one build per database)",
+        f"latency: mean {metrics.latency_mean_seconds * 1000:.1f} ms, "
+        f"p95 {metrics.latency_p95_seconds * 1000:.1f} ms",
+    ]
+    write_report("service_throughput", "\n".join(lines))

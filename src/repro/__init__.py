@@ -38,6 +38,8 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.bayesian` — selectivity models driving the Prism scheduler.
 * :mod:`repro.baselines` — MWeaver-style and Filter baselines.
 * :mod:`repro.explain` — query explanation graphs.
+* :mod:`repro.service` — shared preprocessing-artifact store + concurrent
+  discovery service (worker pool, bounded queue, deadlines, metrics).
 * :mod:`repro.workbench` — the demo workflow (session + CLI).
 * :mod:`repro.workloads` / :mod:`repro.evaluation` — §2.4 evaluation harness.
 """
@@ -78,18 +80,32 @@ from repro.discovery import (
 )
 from repro.explain import QueryGraph, to_ascii, to_dot
 from repro.query import Executor, ProjectJoinQuery, to_sql
+from repro.service import (
+    ArtifactBundle,
+    ArtifactKey,
+    ArtifactStore,
+    DiscoveryRequest,
+    DiscoveryResponse,
+    DiscoveryService,
+)
 from repro.storage import ColumnStore, StorageBackend
 from repro.workbench import PrismSession
 
 __version__ = "0.1.0"
 
 __all__ = [
+    "ArtifactBundle",
+    "ArtifactKey",
+    "ArtifactStore",
     "Column",
     "ColumnRef",
     "ColumnStore",
     "Database",
     "DataType",
+    "DiscoveryRequest",
+    "DiscoveryResponse",
     "DiscoveryResult",
+    "DiscoveryService",
     "DiscoveryStats",
     "Executor",
     "FilterBaseline",

@@ -24,11 +24,17 @@ __all__ = ["BayesianModelSet", "train_models"]
 
 @dataclass
 class BayesianModelSet:
-    """All trained models for one source database."""
+    """All trained models for one source database.
+
+    ``trained_on`` records the database's artifact key (name, schema
+    version, data version) at training time, so artifact caches can tell
+    whether a persisted model set still matches the live data.
+    """
 
     database_name: str
     relation_models: Dict[str, SingleRelationModel] = field(default_factory=dict)
     join_models: Dict[tuple, JoinIndicatorModel] = field(default_factory=dict)
+    trained_on: tuple = ()
 
     def estimator(self) -> SelectivityEstimator:
         """Build the selectivity estimator backed by these models."""
@@ -54,7 +60,9 @@ def train_models(database: Database) -> BayesianModelSet:
         raise TrainingError(
             f"database {database.name!r} has no tables to train on"
         )
-    model_set = BayesianModelSet(database_name=database.name)
+    model_set = BayesianModelSet(
+        database_name=database.name, trained_on=database.artifact_key()
+    )
     for table in database:
         model_set.relation_models[table.name] = SingleRelationModel.fit(table)
     for foreign_key in database.foreign_keys:

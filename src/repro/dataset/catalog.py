@@ -66,6 +66,9 @@ class MetadataCatalog:
     def __init__(self) -> None:
         self._stats: dict[ColumnRef, ColumnStats] = {}
         self._table_rows: dict[str, int] = {}
+        #: Artifact key of the database this catalog was built from (empty
+        #: for hand-assembled catalogs); see :meth:`Database.artifact_key`.
+        self.built_from: tuple = ()
 
     @classmethod
     def build(cls, database: Database) -> "MetadataCatalog":
@@ -77,6 +80,7 @@ class MetadataCatalog:
         strings, and the NULL count from the column's NULL mask.
         """
         catalog = cls()
+        catalog.built_from = database.artifact_key()
         for table in database:
             catalog._table_rows[table.name] = table.num_rows
             for column in table.columns:

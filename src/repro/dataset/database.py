@@ -206,6 +206,16 @@ class Database:
             sum(table.storage_version for table in self._tables.values()),
         )
 
+    def artifact_key(self) -> tuple:
+        """Identity token for preprocessing artifacts built from this state.
+
+        ``(name, schema_version, data_version)`` — the key under which the
+        service layer's :class:`~repro.service.ArtifactStore` caches and
+        persists preprocessing bundles.  Two databases with equal keys are
+        treated as interchangeable sources for cached artifacts.
+        """
+        return (self.name, self._schema_version, self.data_version)
+
     @property
     def total_rows(self) -> int:
         """Total number of rows across every table."""

@@ -76,6 +76,9 @@ class InvertedIndex:
         self._exact: dict[str, list[Posting]] = defaultdict(list)
         self._tokens: dict[str, list[Posting]] = defaultdict(list)
         self._indexed_cells = 0
+        #: Artifact key of the database this index was built from (empty
+        #: for hand-assembled indexes); see :meth:`Database.artifact_key`.
+        self.built_from: tuple = ()
 
     # ------------------------------------------------------------------
     # Construction
@@ -90,6 +93,7 @@ class InvertedIndex:
         the rows via the integer codes.
         """
         index = cls()
+        index.built_from = database.artifact_key()
         for table in database:
             for column in table.columns:
                 if column.data_type is DataType.TEXT:

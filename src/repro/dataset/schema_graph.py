@@ -30,6 +30,9 @@ class SchemaGraph:
 
     def __init__(self, database: Database):
         self._database = database
+        #: Artifact key of the database at construction time; see
+        #: :meth:`Database.artifact_key`.
+        self.built_from: tuple = database.artifact_key()
         self._graph = nx.MultiGraph()
         for table_name in database.table_names:
             self._graph.add_node(table_name)

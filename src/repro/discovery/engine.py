@@ -44,8 +44,20 @@ class Prism:
         time_limit: float = DEFAULT_TIME_LIMIT_SECONDS,
         limits: Optional[GenerationLimits] = None,
         train_bayesian: bool = True,
+        *,
+        index: Optional[InvertedIndex] = None,
+        catalog: Optional[MetadataCatalog] = None,
+        schema_graph: Optional[SchemaGraph] = None,
+        models: Optional[BayesianModelSet] = None,
     ):
         """Preprocess ``database`` and prepare the engine.
+
+        Each preprocessing artifact (inverted index, metadata catalog,
+        schema graph, Bayesian models) may be injected instead of built, so
+        many engines can serve over one shared, immutable artifact set —
+        see :meth:`from_artifacts` and :class:`repro.service.ArtifactStore`.
+        An engine constructed from injected artifacts holds no mutable
+        state of its own beyond its private :class:`Executor` caches.
 
         Args:
             database: the source database.
@@ -54,25 +66,66 @@ class Prism:
             time_limit: per-discovery interactive time budget in seconds.
             limits: candidate-generation bounds.
             train_bayesian: train the Bayesian models eagerly (required for
-                the ``bayesian`` scheduler).
+                the ``bayesian`` scheduler; ignored when ``models`` is
+                injected).
+            index: prebuilt inverted index for ``database``.
+            catalog: prebuilt metadata catalog for ``database``.
+            schema_graph: prebuilt schema graph for ``database``.
+            models: pretrained Bayesian model set for ``database``.
         """
         if time_limit <= 0:
             raise DiscoveryError("time_limit must be positive")
         self.database = database
         self.scheduler = scheduler
         self.time_limit = time_limit
-        self.index = InvertedIndex.build(database)
-        self.catalog = MetadataCatalog.build(database)
-        self.schema_graph = SchemaGraph(database)
+        self.index = index if index is not None else InvertedIndex.build(database)
+        self.catalog = (
+            catalog if catalog is not None else MetadataCatalog.build(database)
+        )
+        self.schema_graph = (
+            schema_graph if schema_graph is not None else SchemaGraph(database)
+        )
         self.executor = Executor(database)
         self.limits = limits or GenerationLimits()
         self.models: Optional[BayesianModelSet] = None
         self._estimator: Optional[SelectivityEstimator] = None
-        if train_bayesian:
+        if models is not None:
+            self.models = models
+            self._estimator = models.estimator()
+        elif train_bayesian:
             self.models = train_models(database)
             self._estimator = self.models.estimator()
         self._finder = RelatedColumnFinder(database, self.index, self.catalog)
         self._generator = CandidateGenerator(database, self.schema_graph, self.limits)
+
+    @classmethod
+    def from_artifacts(
+        cls,
+        bundle,
+        scheduler: Optional[str] = None,
+        time_limit: float = DEFAULT_TIME_LIMIT_SECONDS,
+        limits: Optional[GenerationLimits] = None,
+    ) -> "Prism":
+        """Build a per-request engine over a shared preprocessing bundle.
+
+        ``bundle`` is an :class:`repro.service.ArtifactBundle` (or any
+        object exposing ``database``, ``index``, ``catalog``,
+        ``schema_graph`` and ``models``).  No preprocessing runs: the
+        returned engine is a cheap, stateless view over the bundle's
+        immutable artifacts plus a private executor, so constructing one
+        per request is the intended usage under concurrency.
+        """
+        return cls(
+            bundle.database,
+            scheduler=scheduler if scheduler is not None else "bayesian",
+            time_limit=time_limit,
+            limits=limits,
+            train_bayesian=False,
+            index=bundle.index,
+            catalog=bundle.catalog,
+            schema_graph=bundle.schema_graph,
+            models=bundle.models,
+        )
 
     # ------------------------------------------------------------------
     # Discovery

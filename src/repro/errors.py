@@ -64,3 +64,18 @@ class WorkloadError(ReproError):
 
 class SessionError(ReproError):
     """The workbench session was driven through an invalid state transition."""
+
+
+class ArtifactError(ReproError):
+    """A preprocessing-artifact bundle could not be built, loaded or saved."""
+
+
+class ServiceError(ReproError):
+    """The discovery service was configured or driven incorrectly."""
+
+
+class ServiceOverloaded(ServiceError):
+    """The service's bounded request queue is full (backpressure signal).
+
+    Callers should retry later or shed load; the request was never queued.
+    """

@@ -2,6 +2,14 @@
 
 from repro.query.executor import ExecutionStats, Executor
 from repro.query.pj_query import ProjectJoinQuery
-from repro.query.sql import to_sql
+from repro.query.sql import constraint_to_sql, parse_literal, render_literal, to_sql
 
-__all__ = ["ExecutionStats", "Executor", "ProjectJoinQuery", "to_sql"]
+__all__ = [
+    "ExecutionStats",
+    "Executor",
+    "ProjectJoinQuery",
+    "constraint_to_sql",
+    "parse_literal",
+    "render_literal",
+    "to_sql",
+]

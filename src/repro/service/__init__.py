@@ -1,0 +1,42 @@
+"""The serving layer: shared preprocessing artifacts + a concurrent front door.
+
+This package separates Prism's two lifecycles:
+
+* **per-database preprocessing** — expensive, immutable once built, shared:
+  :class:`ArtifactStore` builds, caches and optionally disk-persists
+  :class:`ArtifactBundle` objects keyed by
+  :class:`ArtifactKey` ``(database, schema_version, data_version)``;
+* **per-request discovery** — cheap, isolated, concurrent:
+  :class:`DiscoveryService` runs rounds on a worker pool, each on a fresh
+  :class:`~repro.discovery.engine.Prism` engine layered over a shared
+  bundle, with a bounded queue, deadlines, cancellation and metrics.
+"""
+
+from repro.service.artifacts import (
+    ArtifactBundle,
+    ArtifactKey,
+    ArtifactStore,
+    ArtifactStoreStats,
+)
+from repro.service.service import (
+    DiscoveryRequest,
+    DiscoveryResponse,
+    DiscoveryService,
+    DiscoveryTicket,
+    ServiceMetrics,
+)
+from repro.service.workload import demo_requests, request_from_dict
+
+__all__ = [
+    "ArtifactBundle",
+    "ArtifactKey",
+    "ArtifactStore",
+    "ArtifactStoreStats",
+    "DiscoveryRequest",
+    "DiscoveryResponse",
+    "DiscoveryService",
+    "DiscoveryTicket",
+    "ServiceMetrics",
+    "demo_requests",
+    "request_from_dict",
+]

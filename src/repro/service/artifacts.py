@@ -1,0 +1,312 @@
+"""Shared, persistable preprocessing-artifact bundles.
+
+The paper trains its models and builds its indexes "a priori for the
+source database" (§2.3) — preprocessing is a long-lived, per-database
+activity, while each interactive discovery round is cheap.  This module
+makes that split explicit:
+
+* :class:`ArtifactBundle` — one immutable set of preprocessing artifacts
+  (inverted index, metadata catalog, schema graph, trained Bayesian
+  models) for one database state;
+* :class:`ArtifactKey` — the bundle's identity:
+  ``(database, schema_version, data_version)``.  Any schema or data change
+  yields a new key, so stale bundles are never served;
+* :class:`ArtifactStore` — a thread-safe build-once cache of bundles,
+  optionally persisted to disk so process restarts and sibling processes
+  warm-start instead of re-preprocessing.
+
+Bundles are strictly read-only after construction; every consumer
+(:class:`~repro.discovery.engine.Prism` engines, the
+:class:`~repro.service.DiscoveryService` worker pool) layers its own
+mutable state (executor caches, statistics) on top.
+"""
+
+from __future__ import annotations
+
+import pickle
+import re
+import threading
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.bayesian.training import BayesianModelSet, train_models
+from repro.dataset.catalog import MetadataCatalog
+from repro.dataset.database import Database
+from repro.dataset.index import InvertedIndex
+from repro.dataset.schema_graph import SchemaGraph
+from repro.errors import ArtifactError
+
+__all__ = ["ArtifactKey", "ArtifactBundle", "ArtifactStore", "ArtifactStoreStats"]
+
+_PICKLE_PROTOCOL = 4
+_UNSAFE_FILENAME = re.compile(r"[^A-Za-z0-9_.-]+")
+
+
+@dataclass(frozen=True)
+class ArtifactKey:
+    """Identity of one preprocessing bundle.
+
+    Attributes:
+        database: the source database's name.
+        schema_version: the database's schema version counter.
+        data_version: the database's cheap data-change token.
+    """
+
+    database: str
+    schema_version: int
+    data_version: tuple
+
+    @classmethod
+    def for_database(cls, database: Database) -> "ArtifactKey":
+        """The key describing ``database``'s current state."""
+        name, schema_version, data_version = database.artifact_key()
+        return cls(name, schema_version, data_version)
+
+    def filename(self) -> str:
+        """A filesystem-safe file name for this key's persisted bundle."""
+        safe_name = _UNSAFE_FILENAME.sub("_", self.database)
+        data_token = "-".join(str(part) for part in self.data_version)
+        return f"{safe_name}.s{self.schema_version}.d{data_token}.artifacts.pkl"
+
+
+@dataclass(frozen=True)
+class ArtifactBundle:
+    """One database's full preprocessing output, immutable once built.
+
+    The bundle owns the database instance it was built from (for bundles
+    loaded from disk that is a private unpickled copy, fully isolated from
+    the caller's objects), so serving from a bundle never races with
+    mutations of the database the caller passed in.
+    """
+
+    key: ArtifactKey
+    database: Database
+    index: InvertedIndex
+    catalog: MetadataCatalog
+    schema_graph: SchemaGraph
+    models: Optional[BayesianModelSet]
+
+    @property
+    def trained(self) -> bool:
+        """Whether the bundle carries trained Bayesian models."""
+        return self.models is not None
+
+    def engine(self, **kwargs):
+        """Construct a cheap per-request :class:`Prism` over this bundle."""
+        from repro.discovery.engine import Prism
+
+        return Prism.from_artifacts(self, **kwargs)
+
+
+@dataclass
+class ArtifactStoreStats:
+    """Counters describing how the store satisfied its requests."""
+
+    hits: int = 0
+    builds: int = 0
+    disk_loads: int = 0
+    disk_writes: int = 0
+    disk_errors: int = 0
+    invalidations: int = 0
+    hits_by_database: Counter = field(default_factory=Counter)
+    builds_by_database: Counter = field(default_factory=Counter)
+
+    def as_dict(self) -> dict:
+        """Plain-dict snapshot used by service metrics and reports."""
+        return {
+            "hits": self.hits,
+            "builds": self.builds,
+            "disk_loads": self.disk_loads,
+            "disk_writes": self.disk_writes,
+            "disk_errors": self.disk_errors,
+            "invalidations": self.invalidations,
+            "hits_by_database": dict(self.hits_by_database),
+            "builds_by_database": dict(self.builds_by_database),
+        }
+
+
+class ArtifactStore:
+    """Builds, caches and optionally disk-persists preprocessing bundles.
+
+    One store serves any number of concurrent sessions: per-database build
+    locks guarantee each distinct ``(database, schema_version,
+    data_version)`` state is preprocessed exactly once no matter how many
+    requests race for it, and every later request is a cache hit.  With a
+    ``persist_dir``, freshly built bundles are pickled to disk and a new
+    process (or a restart) warm-starts by loading them instead of
+    rebuilding.
+    """
+
+    def __init__(
+        self,
+        persist_dir: Optional[Union[str, Path]] = None,
+        train_bayesian: bool = True,
+    ):
+        """Create a store.
+
+        Args:
+            persist_dir: directory for persisted bundles (created on first
+                write).  ``None`` disables persistence.
+            train_bayesian: include trained Bayesian models in built
+                bundles (required for the ``bayesian`` scheduler).
+        """
+        self._persist_dir = Path(persist_dir) if persist_dir is not None else None
+        self._train_bayesian = train_bayesian
+        self._bundles: dict[str, ArtifactBundle] = {}
+        self._build_locks: dict[str, threading.Lock] = {}
+        self._mutex = threading.Lock()
+        self.stats = ArtifactStoreStats()
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def get(self, database: Database) -> ArtifactBundle:
+        """The current bundle for ``database``, building it if needed.
+
+        Thread-safe: concurrent callers for the same database state block
+        on one build and then all share the single resulting bundle.
+        """
+        key = ArtifactKey.for_database(database)
+        bundle = self._bundles.get(key.database)
+        if bundle is not None and bundle.key == key:
+            self._record_hit(key.database)
+            return bundle
+        with self._build_lock(key.database):
+            # Double-checked: a racing caller may have built this state
+            # while we waited for the build lock.
+            bundle = self._bundles.get(key.database)
+            if bundle is not None and bundle.key == key:
+                self._record_hit(key.database)
+                return bundle
+            if bundle is not None:
+                with self._mutex:
+                    self.stats.invalidations += 1
+            fresh = self._load_persisted(key)
+            if fresh is None:
+                fresh = self.build(database)
+                self._persist(fresh)
+            self._bundles[key.database] = fresh
+            return fresh
+
+    def cached_bundle(self, database_name: str) -> Optional[ArtifactBundle]:
+        """The in-memory bundle for ``database_name``, if any (no build)."""
+        return self._bundles.get(database_name)
+
+    def warm(self, databases) -> list[ArtifactBundle]:
+        """Eagerly materialize bundles for an iterable of databases."""
+        return [self.get(database) for database in databases]
+
+    def evict(self, database_name: str) -> bool:
+        """Drop the in-memory bundle for ``database_name`` (disk untouched)."""
+        with self._build_lock(database_name):
+            return self._bundles.pop(database_name, None) is not None
+
+    # ------------------------------------------------------------------
+    # Construction and persistence
+    # ------------------------------------------------------------------
+    def build(self, database: Database) -> ArtifactBundle:
+        """Build a bundle from scratch (no cache interaction besides stats)."""
+        key = ArtifactKey.for_database(database)
+        index = InvertedIndex.build(database)
+        catalog = MetadataCatalog.build(database)
+        schema_graph = SchemaGraph(database)
+        models = train_models(database) if self._train_bayesian else None
+        built_key = ArtifactKey.for_database(database)
+        if built_key != key:
+            raise ArtifactError(
+                f"database {database.name!r} was mutated while its artifacts "
+                "were being built; retry once writes have quiesced"
+            )
+        with self._mutex:
+            self.stats.builds += 1
+            self.stats.builds_by_database[key.database] += 1
+        return ArtifactBundle(
+            key=key,
+            database=database,
+            index=index,
+            catalog=catalog,
+            schema_graph=schema_graph,
+            models=models,
+        )
+
+    def persisted_path(self, key: ArtifactKey) -> Optional[Path]:
+        """Where ``key``'s bundle is (or would be) persisted, if enabled."""
+        if self._persist_dir is None:
+            return None
+        return self._persist_dir / key.filename()
+
+    def _persist(self, bundle: ArtifactBundle) -> None:
+        """Best-effort write-through: a persistence failure never fails the
+        request — the freshly built in-memory bundle is still served, and
+        the failure is only counted in ``stats.disk_errors``."""
+        path = self.persisted_path(bundle.key)
+        if path is None:
+            return
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp_path = path.with_suffix(path.suffix + ".tmp")
+            with open(tmp_path, "wb") as handle:
+                pickle.dump(bundle, handle, protocol=_PICKLE_PROTOCOL)
+            tmp_path.replace(path)
+        except (OSError, pickle.PicklingError):
+            with self._mutex:
+                self.stats.disk_errors += 1
+            return
+        with self._mutex:
+            self.stats.disk_writes += 1
+
+    def _load_persisted(self, key: ArtifactKey) -> Optional[ArtifactBundle]:
+        """Load ``key``'s persisted bundle, degrading to a cache miss.
+
+        An unreadable, corrupt or mismatched file must never poison the
+        database it belongs to: the failure is counted, ``None`` is
+        returned, and the caller rebuilds (the rebuild's write-through then
+        replaces the bad file).
+        """
+        path = self.persisted_path(key)
+        if path is None or not path.exists():
+            return None
+        try:
+            with open(path, "rb") as handle:
+                bundle = pickle.load(handle)
+        except Exception:
+            # pickle.load can raise nearly anything on hostile or
+            # version-skewed input (UnpicklingError, EOFError,
+            # AttributeError, ImportError, ...); all of it means "miss".
+            with self._mutex:
+                self.stats.disk_errors += 1
+            return None
+        if not isinstance(bundle, ArtifactBundle) or bundle.key != key:
+            with self._mutex:
+                self.stats.disk_errors += 1
+            return None
+        if self._train_bayesian and bundle.models is None:
+            # The persisted bundle predates model training; rebuild.
+            return None
+        with self._mutex:
+            self.stats.disk_loads += 1
+        return bundle
+
+    # ------------------------------------------------------------------
+    # Internal plumbing
+    # ------------------------------------------------------------------
+    def _build_lock(self, database_name: str) -> threading.Lock:
+        with self._mutex:
+            lock = self._build_locks.get(database_name)
+            if lock is None:
+                lock = threading.Lock()
+                self._build_locks[database_name] = lock
+            return lock
+
+    def _record_hit(self, database_name: str) -> None:
+        with self._mutex:
+            self.stats.hits += 1
+            self.stats.hits_by_database[database_name] += 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"ArtifactStore(bundles={sorted(self._bundles)}, "
+            f"persist_dir={self._persist_dir})"
+        )

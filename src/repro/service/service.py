@@ -1,0 +1,605 @@
+"""A thread-safe, multi-session front door for query discovery.
+
+The demo paper pitches Prism as an *interactive, multi-user* system with a
+60-second-per-round budget (§2.2).  :class:`DiscoveryService` is the
+serving layer that makes the reproduction behave that way:
+
+* a **worker pool** executes discovery rounds concurrently, each on a
+  cheap per-request :class:`~repro.discovery.engine.Prism` engine layered
+  over shared immutable artifacts from an
+  :class:`~repro.service.ArtifactStore`;
+* a **bounded request queue** applies backpressure — when it is full,
+  :meth:`DiscoveryService.submit` raises
+  :class:`~repro.errors.ServiceOverloaded` instead of buffering without
+  limit;
+* every request carries a **deadline**: time spent waiting in the queue
+  counts against the round's interactive budget, and a request whose
+  budget expired before a worker picked it up is answered with a timeout
+  response instead of being run;
+* tickets support **cancellation** while queued, and the service keeps
+  **metrics** (in-flight/completed counts, latency statistics, artifact
+  cache hits vs builds).
+
+Timeouts are structured results, never opaque errors: a round that hits
+its budget returns ``status="timeout"`` with the partial
+:class:`~repro.discovery.result.DiscoveryResult` attached.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Optional, Sequence
+
+from repro.constraints.spec import MappingSpec
+from repro.dataset.database import Database
+from repro.discovery.candidates import GenerationLimits
+from repro.discovery.engine import DEFAULT_TIME_LIMIT_SECONDS, Prism
+from repro.discovery.result import DiscoveryResult, DiscoveryStats
+from repro.errors import (
+    DiscoveryTimeout,
+    ReproError,
+    ServiceError,
+    ServiceOverloaded,
+)
+from repro.service.artifacts import ArtifactStore
+
+__all__ = [
+    "DiscoveryRequest",
+    "DiscoveryResponse",
+    "DiscoveryTicket",
+    "DiscoveryService",
+    "ServiceMetrics",
+]
+
+_LATENCY_WINDOW = 1024
+
+
+@dataclass(frozen=True)
+class DiscoveryRequest:
+    """One discovery round as submitted to the service."""
+
+    database: str
+    spec: MappingSpec
+    scheduler: Optional[str] = None
+    time_limit: Optional[float] = None
+    request_id: Optional[str] = None
+
+
+@dataclass
+class DiscoveryResponse:
+    """The structured outcome of one request.
+
+    ``status`` is one of ``ok``, ``timeout``, ``cancelled`` or ``error``.
+    A ``timeout`` response still carries the partial result (whatever
+    queries were confirmed before the budget ran out) plus its stats.
+    """
+
+    request_id: str
+    database: str
+    status: str
+    result: Optional[DiscoveryResult] = None
+    error: Optional[str] = None
+    queued_seconds: float = 0.0
+    execution_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """Whether the round ran to completion within its budget."""
+        return self.status == "ok"
+
+    @property
+    def num_queries(self) -> int:
+        """Number of (possibly partial) discovered queries."""
+        return self.result.num_queries if self.result is not None else 0
+
+
+class DiscoveryTicket:
+    """Future-like handle for a submitted request."""
+
+    def __init__(self, request: DiscoveryRequest):
+        self.request = request
+        self.submitted_at = time.monotonic()
+        self._done = threading.Event()
+        self._response: Optional[DiscoveryResponse] = None
+        self._cancelled = False
+        self._started = False
+        self._lock = threading.Lock()
+
+    def cancel(self) -> bool:
+        """Cancel the request if no worker has started it yet.
+
+        Returns ``True`` when the cancellation took effect.  A cancelled
+        ticket resolves to a ``status="cancelled"`` response.
+        """
+        with self._lock:
+            if self._started or self._done.is_set():
+                return False
+            self._cancelled = True
+            return True
+
+    def done(self) -> bool:
+        """Whether a response is available."""
+        return self._done.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> DiscoveryResponse:
+        """Block until the response is available and return it."""
+        if not self._done.is_set() and not self._done.wait(timeout):
+            raise ServiceError(
+                f"request {self.request.request_id or '?'} did not complete "
+                f"within {timeout} seconds"
+            )
+        assert self._response is not None
+        return self._response
+
+    # -- worker-side hooks ---------------------------------------------
+    def _try_start(self) -> bool:
+        with self._lock:
+            if self._cancelled:
+                return False
+            self._started = True
+            return True
+
+    def _resolve(self, response: DiscoveryResponse) -> None:
+        self._response = response
+        self._done.set()
+
+
+@dataclass
+class ServiceMetrics:
+    """A point-in-time snapshot of service health."""
+
+    submitted: int = 0
+    completed: int = 0
+    ok: int = 0
+    timeouts: int = 0
+    errors: int = 0
+    cancelled: int = 0
+    rejected: int = 0
+    in_flight: int = 0
+    queue_depth: int = 0
+    latency_count: int = 0
+    latency_mean_seconds: float = 0.0
+    latency_min_seconds: float = 0.0
+    latency_max_seconds: float = 0.0
+    latency_p50_seconds: float = 0.0
+    latency_p95_seconds: float = 0.0
+    artifacts: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """Plain-dict view used by the CLI and reports."""
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "ok": self.ok,
+            "timeouts": self.timeouts,
+            "errors": self.errors,
+            "cancelled": self.cancelled,
+            "rejected": self.rejected,
+            "in_flight": self.in_flight,
+            "queue_depth": self.queue_depth,
+            "latency_count": self.latency_count,
+            "latency_mean_seconds": self.latency_mean_seconds,
+            "latency_min_seconds": self.latency_min_seconds,
+            "latency_max_seconds": self.latency_max_seconds,
+            "latency_p50_seconds": self.latency_p50_seconds,
+            "latency_p95_seconds": self.latency_p95_seconds,
+            "artifacts": dict(self.artifacts),
+        }
+
+
+class DiscoveryService:
+    """Concurrent discovery over a fixed set of named databases."""
+
+    def __init__(
+        self,
+        databases: Optional[Mapping[str, Database]] = None,
+        loaders: Optional[Mapping[str, Callable[[], Database]]] = None,
+        store: Optional[ArtifactStore] = None,
+        num_workers: int = 4,
+        queue_size: int = 64,
+        default_scheduler: str = "bayesian",
+        default_time_limit: float = DEFAULT_TIME_LIMIT_SECONDS,
+        limits: Optional[GenerationLimits] = None,
+    ):
+        """Create a service.
+
+        Args:
+            databases: mapping of name → loaded database.
+            loaders: mapping of name → zero-argument loader, called lazily
+                on a database's first request.  When both ``databases``
+                and ``loaders`` are omitted, the bundled demo databases
+                (mondial, imdb, nba) are served.
+            store: the artifact store to share; a private one is created
+                when omitted.  Passing a store with a ``persist_dir``
+                makes preprocessing survive restarts.
+            num_workers: worker threads executing requests.
+            queue_size: bound on queued (not yet running) requests; a full
+                queue rejects submissions with
+                :class:`~repro.errors.ServiceOverloaded`.
+            default_scheduler: scheduling policy for requests that do not
+                name one.
+            default_time_limit: per-round budget (seconds) for requests
+                that do not carry their own.
+            limits: candidate-generation bounds applied to every request.
+        """
+        if num_workers < 1:
+            raise ServiceError("num_workers must be at least 1")
+        if queue_size < 1:
+            raise ServiceError("queue_size must be at least 1")
+        if default_time_limit <= 0:
+            raise ServiceError("default_time_limit must be positive")
+        if databases is None and loaders is None:
+            from repro.datasets import _LOADERS
+
+            loaders = dict(_LOADERS)
+        self._databases: dict[str, Database] = dict(databases or {})
+        self._loaders: dict[str, Callable[[], Database]] = dict(loaders or {})
+        self._database_lock = threading.Lock()
+        self.store = store if store is not None else ArtifactStore()
+        self._num_workers = num_workers
+        self._queue: "queue.Queue[Optional[DiscoveryTicket]]" = queue.Queue(
+            maxsize=queue_size
+        )
+        self._default_scheduler = default_scheduler
+        self._default_time_limit = default_time_limit
+        self._limits = limits
+        self._workers: list[threading.Thread] = []
+        self._started = False
+        self._shutdown = False
+        self._state_lock = threading.Lock()
+        # submit() registers itself here before enqueueing; shutdown() waits
+        # for the count to hit zero before pushing the worker-stop sentinels,
+        # so a ticket can never land in the queue behind a sentinel (where
+        # no worker would ever resolve it).
+        self._pending_submits = 0
+        self._no_pending_submits = threading.Condition(self._state_lock)
+        self._metrics_lock = threading.Lock()
+        self._counters = {
+            "submitted": 0,
+            "completed": 0,
+            "ok": 0,
+            "timeout": 0,
+            "error": 0,
+            "cancelled": 0,
+            "rejected": 0,
+        }
+        self._in_flight = 0
+        self._latencies: deque[float] = deque(maxlen=_LATENCY_WINDOW)
+        self._latency_count = 0
+        self._latency_total = 0.0
+        self._latency_min = float("inf")
+        self._latency_max = 0.0
+        self._request_ids = itertools.count(1)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "DiscoveryService":
+        """Start the worker pool (idempotent)."""
+        with self._state_lock:
+            if self._shutdown:
+                raise ServiceError("the service has been shut down")
+            if self._started:
+                return self
+            for worker_index in range(self._num_workers):
+                worker = threading.Thread(
+                    target=self._worker_loop,
+                    name=f"discovery-worker-{worker_index}",
+                    daemon=True,
+                )
+                worker.start()
+                self._workers.append(worker)
+            self._started = True
+        return self
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting requests and (optionally) join the workers.
+
+        Queued requests are drained and executed before the workers exit.
+        """
+        with self._state_lock:
+            if self._shutdown:
+                return
+            self._shutdown = True
+            started = self._started
+            while self._pending_submits:
+                self._no_pending_submits.wait()
+        if started:
+            for _ in self._workers:
+                self._queue.put(None)
+            if wait:
+                for worker in self._workers:
+                    worker.join()
+
+    def __enter__(self) -> "DiscoveryService":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown(wait=True)
+
+    # ------------------------------------------------------------------
+    # Databases
+    # ------------------------------------------------------------------
+    def available_databases(self) -> list[str]:
+        """Names this service can answer requests for."""
+        return sorted(set(self._databases) | set(self._loaders))
+
+    def database(self, name: str) -> Database:
+        """The loaded database registered under ``name`` (loads lazily)."""
+        with self._database_lock:
+            loaded = self._databases.get(name)
+            if loaded is not None:
+                return loaded
+            loader = self._loaders.get(name)
+            if loader is None:
+                raise ServiceError(
+                    f"unknown database {name!r}; available: "
+                    f"{self.available_databases()}"
+                )
+            loaded = loader()
+            self._databases[name] = loaded
+            return loaded
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        request: DiscoveryRequest,
+        block: bool = False,
+        timeout: Optional[float] = None,
+    ) -> DiscoveryTicket:
+        """Queue a request; returns a ticket resolving to its response.
+
+        Args:
+            request: the round to run.
+            block: wait for queue space instead of rejecting immediately.
+            timeout: bound on the wait when ``block`` is true.
+
+        Raises:
+            ServiceOverloaded: the queue is full (backpressure).
+            ServiceError: the service is shut down, not started, or the
+                request is invalid.
+        """
+        if self._shutdown:
+            raise ServiceError("the service has been shut down")
+        if not self._started:
+            self.start()
+        if request.database not in self._databases and (
+            request.database not in self._loaders
+        ):
+            raise ServiceError(
+                f"unknown database {request.database!r}; available: "
+                f"{self.available_databases()}"
+            )
+        budget = (
+            request.time_limit
+            if request.time_limit is not None
+            else self._default_time_limit
+        )
+        if budget <= 0:
+            raise ServiceError("a request's time_limit must be positive")
+        if request.request_id is None:
+            request = DiscoveryRequest(
+                database=request.database,
+                spec=request.spec,
+                scheduler=request.scheduler,
+                time_limit=request.time_limit,
+                request_id=f"req-{next(self._request_ids)}",
+            )
+        ticket = DiscoveryTicket(request)
+        with self._state_lock:
+            if self._shutdown:
+                raise ServiceError("the service has been shut down")
+            self._pending_submits += 1
+        try:
+            try:
+                self._queue.put(ticket, block=block, timeout=timeout)
+            except queue.Full:
+                with self._metrics_lock:
+                    self._counters["rejected"] += 1
+                raise ServiceOverloaded(
+                    f"request queue is full ({self._queue.maxsize} pending); "
+                    "retry later"
+                ) from None
+        finally:
+            with self._state_lock:
+                self._pending_submits -= 1
+                if not self._pending_submits:
+                    self._no_pending_submits.notify_all()
+        with self._metrics_lock:
+            self._counters["submitted"] += 1
+        return ticket
+
+    def run_batch(
+        self,
+        requests: Sequence[DiscoveryRequest],
+        block: bool = True,
+    ) -> list[DiscoveryResponse]:
+        """Submit many requests and wait for all their responses.
+
+        With ``block=True`` (the default) submission waits for queue space,
+        so batches larger than the queue bound drain through backpressure
+        instead of being rejected.
+        """
+        tickets = [self.submit(request, block=block) for request in requests]
+        return [ticket.result() for ticket in tickets]
+
+    def execute(self, request: DiscoveryRequest) -> DiscoveryResponse:
+        """Run one request synchronously on the calling thread.
+
+        This is the single-threaded baseline path (no queue, no workers);
+        it still shares the artifact store, so repeated calls warm-start.
+        """
+        request_id = request.request_id or f"req-{next(self._request_ids)}"
+        budget = (
+            request.time_limit
+            if request.time_limit is not None
+            else self._default_time_limit
+        )
+        return self._run(request, request_id, budget, queued_seconds=0.0)
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    def metrics(self) -> ServiceMetrics:
+        """A consistent snapshot of counters and latency statistics."""
+        with self._metrics_lock:
+            ordered = sorted(self._latencies)
+            snapshot = ServiceMetrics(
+                submitted=self._counters["submitted"],
+                completed=self._counters["completed"],
+                ok=self._counters["ok"],
+                timeouts=self._counters["timeout"],
+                errors=self._counters["error"],
+                cancelled=self._counters["cancelled"],
+                rejected=self._counters["rejected"],
+                in_flight=self._in_flight,
+                queue_depth=self._queue.qsize(),
+                latency_count=self._latency_count,
+            )
+            if self._latency_count:
+                snapshot.latency_mean_seconds = (
+                    self._latency_total / self._latency_count
+                )
+                snapshot.latency_min_seconds = self._latency_min
+                snapshot.latency_max_seconds = self._latency_max
+            if ordered:
+                snapshot.latency_p50_seconds = ordered[len(ordered) // 2]
+                snapshot.latency_p95_seconds = ordered[
+                    min(len(ordered) - 1, int(len(ordered) * 0.95))
+                ]
+        snapshot.artifacts = self.store.stats.as_dict()
+        return snapshot
+
+    # ------------------------------------------------------------------
+    # Worker internals
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            ticket = self._queue.get()
+            if ticket is None:
+                self._queue.task_done()
+                return
+            try:
+                self._serve_ticket(ticket)
+            finally:
+                self._queue.task_done()
+
+    def _serve_ticket(self, ticket: DiscoveryTicket) -> None:
+        request = ticket.request
+        request_id = request.request_id or "?"
+        queued_seconds = time.monotonic() - ticket.submitted_at
+        if not ticket._try_start():
+            response = DiscoveryResponse(
+                request_id=request_id,
+                database=request.database,
+                status="cancelled",
+                queued_seconds=queued_seconds,
+            )
+            self._finish(ticket, response)
+            return
+        budget = (
+            request.time_limit
+            if request.time_limit is not None
+            else self._default_time_limit
+        )
+        remaining = budget - queued_seconds
+        if remaining <= 0:
+            # The round's interactive budget was consumed by queueing:
+            # answer with a structured timeout instead of running.
+            stats = DiscoveryStats(
+                scheduler_name=request.scheduler or self._default_scheduler
+            )
+            stats.timed_out = True
+            stats.elapsed_seconds = queued_seconds
+            response = DiscoveryResponse(
+                request_id=request_id,
+                database=request.database,
+                status="timeout",
+                result=DiscoveryResult(stats=stats),
+                error="time budget exhausted while queued",
+                queued_seconds=queued_seconds,
+            )
+            self._finish(ticket, response)
+            return
+        with self._metrics_lock:
+            self._in_flight += 1
+        try:
+            response = self._run(request, request_id, remaining, queued_seconds)
+        finally:
+            with self._metrics_lock:
+                self._in_flight -= 1
+        self._finish(ticket, response)
+
+    def _run(
+        self,
+        request: DiscoveryRequest,
+        request_id: str,
+        budget: float,
+        queued_seconds: float,
+    ) -> DiscoveryResponse:
+        started = time.monotonic()
+        try:
+            database = self.database(request.database)
+            bundle = self.store.get(database)
+            engine = Prism.from_artifacts(
+                bundle,
+                scheduler=request.scheduler or self._default_scheduler,
+                time_limit=budget,
+                limits=self._limits,
+            )
+            result = engine.discover(request.spec, raise_on_timeout=True)
+        except DiscoveryTimeout as exc:
+            partial = exc.partial_result
+            if partial is None:
+                stats = DiscoveryStats(
+                    scheduler_name=request.scheduler or self._default_scheduler
+                )
+                stats.timed_out = True
+                partial = DiscoveryResult(stats=stats)
+            return DiscoveryResponse(
+                request_id=request_id,
+                database=request.database,
+                status="timeout",
+                result=partial,
+                error=str(exc),
+                queued_seconds=queued_seconds,
+                execution_seconds=time.monotonic() - started,
+            )
+        except ReproError as exc:
+            return DiscoveryResponse(
+                request_id=request_id,
+                database=request.database,
+                status="error",
+                error=f"{type(exc).__name__}: {exc}",
+                queued_seconds=queued_seconds,
+                execution_seconds=time.monotonic() - started,
+            )
+        return DiscoveryResponse(
+            request_id=request_id,
+            database=request.database,
+            status="ok",
+            result=result,
+            queued_seconds=queued_seconds,
+            execution_seconds=time.monotonic() - started,
+        )
+
+    def _finish(self, ticket: DiscoveryTicket, response: DiscoveryResponse) -> None:
+        latency = time.monotonic() - ticket.submitted_at
+        with self._metrics_lock:
+            self._counters["completed"] += 1
+            self._counters[response.status] = (
+                self._counters.get(response.status, 0) + 1
+            )
+            self._latencies.append(latency)
+            self._latency_count += 1
+            self._latency_total += latency
+            self._latency_min = min(self._latency_min, latency)
+            self._latency_max = max(self._latency_max, latency)
+        ticket._resolve(response)

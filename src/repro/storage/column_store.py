@@ -19,6 +19,7 @@ tuples are materialized lazily and cached until the next write.
 
 from __future__ import annotations
 
+import threading
 from collections import Counter
 from typing import Any, Callable, Mapping, Optional, Sequence
 
@@ -99,10 +100,18 @@ class _ColumnData:
 
 
 class _TableStore:
-    """All columns of one table plus its derived caches."""
+    """All columns of one table plus its derived caches.
+
+    Derived caches (the row-tuple cache and the join-key hash indexes) are
+    published copy-on-write under ``_lock`` so concurrent readers either
+    see a complete, immutable cache object or build their own: a reader
+    holding a pre-write reference keeps a consistent (if stale) snapshot,
+    never a half-built one.  Writes also run under the lock so the version
+    token can never lag behind the data it stamps.
+    """
 
     __slots__ = ("name", "columns", "num_rows", "version",
-                 "_rows_cache", "_join_indexes")
+                 "_rows_cache", "_join_indexes", "_lock")
 
     def __init__(self, name: str, columns: Sequence[Any]):
         self.name = name
@@ -111,18 +120,42 @@ class _TableStore:
         self.version = 0
         self._rows_cache: Optional[list[tuple[Any, ...]]] = None
         self._join_indexes: dict[int, dict[Any, list[int]]] = {}
+        self._lock = threading.Lock()
+
+    def __getstate__(self) -> dict:
+        # Locks cannot be pickled and derived caches are cheap to rebuild,
+        # so persisted stores carry only the physical columns.
+        return {
+            "name": self.name,
+            "columns": self.columns,
+            "num_rows": self.num_rows,
+            "version": self.version,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.name = state["name"]
+        self.columns = state["columns"]
+        self.num_rows = state["num_rows"]
+        self.version = state["version"]
+        self._rows_cache = None
+        self._join_indexes = {}
+        self._lock = threading.Lock()
 
     def append(self, prepared: Sequence[Any]) -> None:
-        for column, value in zip(self.columns, prepared):
-            column.append(value)
-        self.num_rows += 1
-        self.version += 1
-        self._rows_cache = None
-        self._join_indexes.clear()
+        with self._lock:
+            for column, value in zip(self.columns, prepared):
+                column.append(value)
+            self.num_rows += 1
+            self.version += 1
+            # Replace (never mutate) the published caches: readers holding
+            # the old objects keep a consistent pre-write snapshot.
+            self._rows_cache = None
+            self._join_indexes = {}
 
     def row(self, index: int) -> tuple[Any, ...]:
-        if self._rows_cache is not None:
-            return self._rows_cache[index]
+        cache = self._rows_cache
+        if cache is not None:
+            return cache[index]
         if index < 0:
             index += self.num_rows
         if not 0 <= index < self.num_rows:
@@ -130,38 +163,54 @@ class _TableStore:
         return tuple(column.get(index) for column in self.columns)
 
     def rows(self) -> list[tuple[Any, ...]]:
-        if self._rows_cache is None:
-            # Tables always have >= 1 column (enforced by Table), so
-            # zip(*columns) covers every case including zero rows.
-            self._rows_cache = list(
-                zip(*(column.decoded() for column in self.columns))
-            )
-        return self._rows_cache
+        cache = self._rows_cache
+        if cache is None:
+            with self._lock:
+                cache = self._rows_cache
+                if cache is None:
+                    # Tables always have >= 1 column (enforced by Table), so
+                    # zip(*columns) covers every case including zero rows.
+                    cache = list(
+                        zip(*(column.decoded() for column in self.columns))
+                    )
+                    self._rows_cache = cache
+        return cache
 
     def join_index(self, position: int) -> dict[Any, list[int]]:
         index = self._join_indexes.get(position)
         if index is None:
-            index = {}
-            column = self.columns[position]
-            if column.is_text:
-                dictionary = column.dictionary
-                per_code: list[list[int]] = [[] for _ in dictionary]
-                for row_index, code in enumerate(column.codes):
-                    if code >= 0:
-                        per_code[code].append(row_index)
-                for code, value in enumerate(dictionary):
-                    if per_code[code]:
-                        index[value] = per_code[code]
-            else:
-                for row_index, value in enumerate(column.values):
-                    if value is None:
-                        continue
-                    bucket = index.get(value)
-                    if bucket is None:
-                        index[value] = [row_index]
-                    else:
-                        bucket.append(row_index)
-            self._join_indexes[position] = index
+            with self._lock:
+                # Double-checked: another thread may have built and
+                # published this index while we waited for the lock.
+                index = self._join_indexes.get(position)
+                if index is None:
+                    index = self._build_join_index(position)
+                    published = dict(self._join_indexes)
+                    published[position] = index
+                    self._join_indexes = published
+        return index
+
+    def _build_join_index(self, position: int) -> dict[Any, list[int]]:
+        index: dict[Any, list[int]] = {}
+        column = self.columns[position]
+        if column.is_text:
+            dictionary = column.dictionary
+            per_code: list[list[int]] = [[] for _ in dictionary]
+            for row_index, code in enumerate(column.codes):
+                if code >= 0:
+                    per_code[code].append(row_index)
+            for code, value in enumerate(dictionary):
+                if per_code[code]:
+                    index[value] = per_code[code]
+        else:
+            for row_index, value in enumerate(column.values):
+                if value is None:
+                    continue
+                bucket = index.get(value)
+                if bucket is None:
+                    index[value] = [row_index]
+                else:
+                    bucket.append(row_index)
         return index
 
     def select_rows(
@@ -191,27 +240,44 @@ class _TableStore:
 
 
 class ColumnStore(StorageBackend):
-    """In-memory dictionary-encoding columnar backend (the default)."""
+    """In-memory dictionary-encoding columnar backend (the default).
+
+    Reads are safe under concurrent readers: derived caches are published
+    copy-on-write inside each table store (see :class:`_TableStore`).
+    Table registration/removal is guarded by a store-level lock; concurrent
+    writers to the *same* table serialize on that table's lock.
+    """
 
     def __init__(self) -> None:
         self._tables: dict[str, _TableStore] = {}
+        self._registry_lock = threading.Lock()
+
+    def __getstate__(self) -> dict:
+        return {"_tables": self._tables}
+
+    def __setstate__(self, state: dict) -> None:
+        self._tables = state["_tables"]
+        self._registry_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Table lifecycle
     # ------------------------------------------------------------------
     def register_table(self, name: str, columns: Sequence[Any]) -> None:
-        if name in self._tables:
-            raise SchemaError(
-                f"table {name!r} is already registered with this backend"
-            )
-        self._tables[name] = _TableStore(name, columns)
+        with self._registry_lock:
+            if name in self._tables:
+                raise SchemaError(
+                    f"table {name!r} is already registered with this backend"
+                )
+            self._tables[name] = _TableStore(name, columns)
 
     def drop_table(self, name: str) -> None:
-        self._tables.pop(name, None)
+        with self._registry_lock:
+            self._tables.pop(name, None)
 
     def detach_table(self, name: str) -> "ColumnStore":
         detached = ColumnStore()
-        store = self._tables.pop(name, None)
+        with self._registry_lock:
+            store = self._tables.pop(name, None)
         if store is not None:
             detached._tables[name] = store
         return detached

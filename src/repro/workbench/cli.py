@@ -5,6 +5,8 @@ Subcommands mirror what a demo attendee would do in the web UI:
 * ``prism databases`` — list the bundled source databases;
 * ``prism schema <database>`` — show tables, columns and row counts;
 * ``prism search ...`` — run one round of multiresolution discovery;
+* ``prism serve-batch ...`` — drive many (mixed-database) rounds through
+  the concurrent :class:`~repro.service.DiscoveryService`;
 * ``prism demo`` — replay the §3 Lake Tahoe walk-through end to end.
 
 Sample rows are given with ``--sample`` (repeatable, one per row) using
@@ -15,11 +17,19 @@ Metadata constraints use ``--metadata COLUMN:TEXT``.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional, Sequence
 
 from repro.datasets import available_databases, load_database_by_name
 from repro.discovery.engine import DEFAULT_TIME_LIMIT_SECONDS
+from repro.errors import ReproError
+from repro.service import (
+    ArtifactStore,
+    DiscoveryService,
+    demo_requests,
+    request_from_dict,
+)
 from repro.workbench.session import PrismSession
 
 __all__ = ["main", "build_parser"]
@@ -67,6 +77,42 @@ def build_parser() -> argparse.ArgumentParser:
                                help="maximum number of queries to print")
     search_parser.add_argument("--explain", type=int, default=None,
                                help="print the explanation graph of query #N (1-based)")
+    search_parser.add_argument(
+        "--fail-on-timeout",
+        action="store_true",
+        help="exit with status 3 when the round hits its time limit "
+             "(partial queries and stats are still printed)",
+    )
+
+    serve_parser = subparsers.add_parser(
+        "serve-batch",
+        help="run a batch of discovery requests through the concurrent service",
+    )
+    serve_parser.add_argument("--workers", type=int, default=4,
+                              help="worker threads in the service pool")
+    serve_parser.add_argument("--queue-size", type=int, default=64,
+                              help="bound on queued requests (backpressure)")
+    serve_parser.add_argument(
+        "--requests",
+        default=None,
+        help="JSON file with a list of request objects "
+             "({database, columns, samples, metadata, ...}); "
+             "omit to run the built-in mixed demo workload",
+    )
+    serve_parser.add_argument("--rounds", type=int, default=1,
+                              help="repetitions of the built-in demo workload")
+    serve_parser.add_argument("--scheduler", default="bayesian",
+                              choices=["naive", "filter", "bayesian", "optimal"])
+    serve_parser.add_argument("--time-limit", type=float,
+                              default=DEFAULT_TIME_LIMIT_SECONDS,
+                              help="per-request budget in seconds "
+                                   "(queue wait counts against it)")
+    serve_parser.add_argument(
+        "--artifact-dir",
+        default=None,
+        help="persist preprocessing artifacts under this directory so "
+             "later runs warm-start",
+    )
 
     demo_parser = subparsers.add_parser(
         "demo", help="replay the paper's Lake Tahoe walk-through"
@@ -140,7 +186,9 @@ def _command_search(args: argparse.Namespace) -> int:
         f"scheduler={stats.scheduler_name})"
     )
     if result.timed_out:
-        print("warning: discovery hit the time limit; results may be partial")
+        # Timeouts are a structured outcome: the partial queries and the
+        # per-stage stats above are still printed, never a bare error.
+        print("warning: discovery hit the time limit; results are partial")
     for index, sql in enumerate(result.sql()[: args.max_queries], start=1):
         print(f"  [{index}] {sql}")
     if result.num_queries > args.max_queries:
@@ -150,7 +198,81 @@ def _command_search(args: argparse.Namespace) -> int:
         session.select_query(index)
         print()
         print(session.explain(fmt="ascii"))
+    if result.timed_out and args.fail_on_timeout:
+        return 3
     return 0
+
+
+def _command_serve_batch(args: argparse.Namespace) -> int:
+    if args.requests is not None:
+        try:
+            with open(args.requests, "r", encoding="utf-8") as handle:
+                entries = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: could not read {args.requests!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        if not isinstance(entries, list):
+            print("error: the requests file must hold a JSON list",
+                  file=sys.stderr)
+            return 2
+        try:
+            requests = [request_from_dict(entry) for entry in entries]
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    else:
+        try:
+            requests = demo_requests(rounds=args.rounds, scheduler=args.scheduler)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    store = ArtifactStore(persist_dir=args.artifact_dir)
+    try:
+        service = DiscoveryService(
+            store=store,
+            num_workers=args.workers,
+            queue_size=args.queue_size,
+            default_scheduler=args.scheduler,
+            default_time_limit=args.time_limit,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    with service:
+        responses = service.run_batch(requests)
+        metrics = service.metrics()
+    failures = 0
+    for response in responses:
+        line = (
+            f"[{response.request_id}] {response.database}: {response.status}"
+            f" — {response.num_queries} queries"
+        )
+        if response.result is not None:
+            line += (
+                f" ({response.result.stats.validations} validations, "
+                f"exec {response.execution_seconds:.2f}s, "
+                f"queued {response.queued_seconds:.2f}s)"
+            )
+        if response.status == "error":
+            line += f" ({response.error})"
+            failures += 1
+        print(line)
+    artifacts = metrics.artifacts
+    print(
+        f"served {metrics.completed} requests with {args.workers} workers: "
+        f"{metrics.ok} ok, {metrics.timeouts} timeout, {metrics.errors} error"
+    )
+    print(
+        f"artifact store: {artifacts['builds']} builds, "
+        f"{artifacts['hits']} cache hits, {artifacts['disk_loads']} disk loads"
+    )
+    print(
+        f"latency: mean {metrics.latency_mean_seconds:.2f}s, "
+        f"p95 {metrics.latency_p95_seconds:.2f}s, "
+        f"max {metrics.latency_max_seconds:.2f}s"
+    )
+    return 1 if failures else 0
 
 
 def _command_demo(scheduler: str) -> int:
@@ -190,6 +312,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_schema(args.database)
     if args.command == "search":
         return _command_search(args)
+    if args.command == "serve-batch":
+        return _command_serve_batch(args)
     if args.command == "demo":
         return _command_demo(args.scheduler)
     parser.error(f"unknown command {args.command!r}")

@@ -21,8 +21,9 @@ from repro.constraints.values import ValueConstraint
 from repro.dataset.database import Database
 from repro.datasets import available_databases, load_database_by_name
 from repro.discovery.engine import DEFAULT_TIME_LIMIT_SECONDS, Prism
-from repro.discovery.result import DiscoveryResult
-from repro.errors import SessionError
+from repro.discovery.result import DiscoveryResult, DiscoveryStats
+from repro.errors import DiscoveryTimeout, SessionError
+from repro.service.artifacts import ArtifactStore
 from repro.explain.graph import QueryGraph
 from repro.explain.render import to_ascii, to_dict, to_dot
 from repro.query.pj_query import ProjectJoinQuery
@@ -42,16 +43,28 @@ class SessionStage(enum.Enum):
 class PrismSession:
     """Drives the Configuration → Description → Result workflow."""
 
-    def __init__(self, databases: Optional[dict[str, Database]] = None):
+    def __init__(
+        self,
+        databases: Optional[dict[str, Database]] = None,
+        artifact_store: Optional[ArtifactStore] = None,
+    ):
         """Create a session.
 
         Args:
             databases: optional mapping of database name → loaded database.
                 When omitted, the bundled demo databases (mondial, imdb,
                 nba) are loaded lazily on first use.
+            artifact_store: optional shared
+                :class:`~repro.service.ArtifactStore`.  When given, the
+                session's engines are built from (and warm-start on) the
+                store's cached preprocessing bundles, so many sessions —
+                or a session and a :class:`~repro.service.DiscoveryService`
+                — share one preprocessing pass per database state.
         """
         self._databases = dict(databases) if databases is not None else None
-        self._engines: dict[str, Prism] = {}
+        self._artifact_store = artifact_store
+        self._loaded_databases: dict[str, Database] = {}
+        self._engines: dict[str, tuple[object, Prism]] = {}
         self._stage = SessionStage.CONFIGURATION
         self._database_name: Optional[str] = None
         self._num_columns = 0
@@ -168,25 +181,62 @@ class PrismSession:
     # ------------------------------------------------------------------
     # Result section
     # ------------------------------------------------------------------
+    def _load_database(self) -> Database:
+        if self._database_name is None:
+            raise SessionError("no database configured")
+        if self._databases is not None:
+            return self._databases[self._database_name]
+        database = self._loaded_databases.get(self._database_name)
+        if database is None:
+            database = load_database_by_name(self._database_name)
+            self._loaded_databases[self._database_name] = database
+        return database
+
     def _engine(self) -> Prism:
         if self._database_name is None:
             raise SessionError("no database configured")
-        if self._database_name not in self._engines:
-            if self._databases is not None:
-                database = self._databases[self._database_name]
-            else:
-                database = load_database_by_name(self._database_name)
-            self._engines[self._database_name] = Prism(database)
-        return self._engines[self._database_name]
+        if self._artifact_store is not None:
+            database = self._load_database()
+            bundle = self._artifact_store.get(database)
+            cached = self._engines.get(self._database_name)
+            if cached is not None and cached[0] == bundle.key:
+                return cached[1]
+            engine = Prism.from_artifacts(bundle)
+            self._engines[self._database_name] = (bundle.key, engine)
+            return engine
+        cached = self._engines.get(self._database_name)
+        if cached is None:
+            cached = (None, Prism(self._load_database()))
+            self._engines[self._database_name] = cached
+        return cached[1]
 
     def search(self) -> DiscoveryResult:
-        """Hit the "Start Searching!" button."""
+        """Hit the "Start Searching!" button.
+
+        A round that exceeds its time budget is never an error path at
+        this layer: an engine-raised :class:`DiscoveryTimeout` is folded
+        into a structured, partial :class:`DiscoveryResult` whose
+        ``timed_out`` flag is set, preserving whatever queries and stats
+        were produced before the deadline.
+        """
         spec = self.build_spec()
         spec.validate()
         engine = self._engine()
-        self._result = engine.discover(
-            spec, scheduler=self._scheduler, time_limit=self._time_limit
-        )
+        try:
+            result = engine.discover(
+                spec,
+                scheduler=self._scheduler,
+                time_limit=self._time_limit,
+                raise_on_timeout=True,
+            )
+        except DiscoveryTimeout as exc:
+            result = exc.partial_result
+            if result is None:
+                stats = DiscoveryStats(scheduler_name=self._scheduler)
+                stats.timed_out = True
+                result = DiscoveryResult(stats=stats)
+            result.stats.timed_out = True
+        self._result = result
         self._stage = SessionStage.RESULT
         self._selected = None
         return self._result

@@ -231,3 +231,45 @@ class TestCacheObservability:
         assert second.stats.exists_cache_misses == 0
         assert second.stats.join_index_builds == 0
         assert second.queries == first.queries
+
+
+class TestInjectedArtifacts:
+    def _spec(self):
+        spec = MappingSpec(2)
+        spec.add_sample_cells(
+            [ExactValue("Engineering"), ExactValue("Query Optimizer")]
+        )
+        return spec
+
+    def test_from_artifacts_skips_preprocessing_and_matches(self, company_db):
+        from repro.service import ArtifactStore
+
+        bundle = ArtifactStore().get(company_db)
+        engine = Prism.from_artifacts(bundle)
+        # No artifact was rebuilt: the engine aliases the bundle's objects.
+        assert engine.index is bundle.index
+        assert engine.catalog is bundle.catalog
+        assert engine.schema_graph is bundle.schema_graph
+        assert engine.models is bundle.models
+        baseline = Prism(company_db).discover(self._spec())
+        shared = engine.discover(self._spec())
+        assert shared.sql() == baseline.sql()
+
+    def test_engines_over_one_bundle_have_private_executors(self, company_db):
+        from repro.service import ArtifactStore
+
+        bundle = ArtifactStore().get(company_db)
+        first = Prism.from_artifacts(bundle)
+        second = Prism.from_artifacts(bundle)
+        assert first.executor is not second.executor
+        first.discover(self._spec())
+        # The sibling engine's executor stats are untouched.
+        assert second.executor.stats.queries_executed == 0
+
+    def test_partial_injection_builds_only_whats_missing(self, company_db):
+        from repro.dataset.index import InvertedIndex
+
+        index = InvertedIndex.build(company_db)
+        engine = Prism(company_db, index=index, train_bayesian=False)
+        assert engine.index is index
+        assert engine.catalog.built_from == company_db.artifact_key()

@@ -2,9 +2,22 @@
 
 from __future__ import annotations
 
+import pytest
+
+from repro.constraints.spec import MappingSpec
+from repro.constraints.values import (
+    AnyValue,
+    Conjunction,
+    Disjunction,
+    ExactValue,
+    OneOf,
+    Predicate,
+    Range,
+)
 from repro.dataset.schema import ColumnRef, ForeignKey
+from repro.errors import QueryError
 from repro.query.pj_query import ProjectJoinQuery
-from repro.query.sql import to_sql
+from repro.query.sql import constraint_to_sql, parse_literal, render_literal, to_sql
 
 
 class TestToSql:
@@ -57,3 +70,121 @@ class TestToSql:
             (ColumnRef("Lake", "Area"), ColumnRef("Lake", "Name"))
         )
         assert to_sql(query).startswith("SELECT Lake.Area, Lake.Name")
+
+
+# Sample values that must survive the trip into (and back out of) SQL:
+# quotes, the constraint language's own operators, comment and statement
+# terminators, unicode.
+TRICKY_STRINGS = [
+    "O'Brien",
+    "Lake 'Tahoe'",
+    "''",
+    "'",
+    "California || Nevada",
+    "a && b",
+    "100%; DROP TABLE Lake; --",
+    "tab\tand\nnewline",
+    "ünïcødé ✓",
+    "",
+]
+
+
+class TestLiteralRoundTrip:
+    @pytest.mark.parametrize("value", TRICKY_STRINGS)
+    def test_string_round_trip(self, value):
+        assert parse_literal(render_literal(value)) == value
+
+    @pytest.mark.parametrize("value", [0, -7, 12345, 3.5, -0.25, True, False, None])
+    def test_scalar_round_trip(self, value):
+        assert parse_literal(render_literal(value)) == value
+
+    def test_single_quotes_are_doubled(self):
+        assert render_literal("O'Brien") == "'O''Brien'"
+        assert render_literal("'") == "''''"
+
+    def test_pipes_need_no_escaping_inside_quotes(self):
+        assert render_literal("California || Nevada") == "'California || Nevada'"
+
+    def test_malformed_literals_are_rejected(self):
+        with pytest.raises(QueryError):
+            parse_literal("'unterminated")
+        with pytest.raises(QueryError):
+            parse_literal("'bad ' quote'")
+        with pytest.raises(QueryError):
+            parse_literal("not a literal")
+
+
+class TestConstraintToSql:
+    def test_exact_value_with_quote(self):
+        sql = constraint_to_sql("Lake.Name", ExactValue("O'Brien"))
+        assert sql == "Lake.Name = 'O''Brien'"
+
+    def test_one_of_renders_in_list(self):
+        sql = constraint_to_sql("P.Name", OneOf(["California", "Nevada"]))
+        assert sql == "P.Name IN ('California', 'Nevada')"
+
+    def test_range_and_predicate(self):
+        assert constraint_to_sql("L.Area", Range(400, 600)) == (
+            "L.Area >= 400 AND L.Area <= 600"
+        )
+        assert constraint_to_sql("L.Area", Range(0, None, low_inclusive=False)) == (
+            "L.Area > 0"
+        )
+        assert constraint_to_sql("L.Area", Predicate(">=", 0)) == "L.Area >= 0"
+        assert constraint_to_sql("L.Area", Predicate("==", 497)) == "L.Area = 497"
+        assert constraint_to_sql("L.Area", Predicate("!=", 497)) == "L.Area <> 497"
+
+    def test_logical_combinations_and_any(self):
+        conj = Conjunction([Predicate(">=", 0), Predicate("<", 10)])
+        assert constraint_to_sql("C.X", conj) == "(C.X >= 0 AND C.X < 10)"
+        disj = Disjunction([ExactValue("a"), ExactValue("b")])
+        assert constraint_to_sql("C.X", disj) == "(C.X = 'a' OR C.X = 'b')"
+        assert constraint_to_sql("C.X", AnyValue()) == "C.X IS NOT NULL"
+
+
+class TestToSqlWithSpec:
+    def _query(self):
+        return ProjectJoinQuery(
+            (
+                ColumnRef("geo_lake", "Province"),
+                ColumnRef("Lake", "Name"),
+            ),
+            (ForeignKey("geo_lake", "Lake", "Lake", "Name"),),
+        )
+
+    def test_sample_predicates_are_rendered_and_escaped(self):
+        spec = MappingSpec(2)
+        spec.add_sample_cells(
+            [OneOf(["California", "Nevada"]), ExactValue("Lake 'Tahoe'")]
+        )
+        sql = to_sql(self._query(), spec=spec)
+        assert "geo_lake.Province IN ('California', 'Nevada')" in sql
+        assert "Lake.Name = 'Lake ''Tahoe'''" in sql
+        # Join condition is still present, ANDed with the sample group.
+        assert "geo_lake.Lake = Lake.Name" in sql
+
+    def test_multiple_sample_rows_are_or_connected(self):
+        spec = MappingSpec(2)
+        spec.add_sample_cells([ExactValue("California"), None])
+        spec.add_sample_cells([ExactValue("Nevada"), None])
+        sql = to_sql(self._query(), spec=spec)
+        assert (
+            "((geo_lake.Province = 'California') OR "
+            "(geo_lake.Province = 'Nevada'))"
+        ) in sql
+
+    def test_spec_without_constrained_cells_changes_nothing(self):
+        spec = MappingSpec(2)
+        assert to_sql(self._query(), spec=spec) == to_sql(self._query())
+
+    def test_every_tricky_string_yields_balanced_quoting(self):
+        for value in TRICKY_STRINGS:
+            spec = MappingSpec(2)
+            spec.add_sample_cells([ExactValue(value), None])
+            sql = to_sql(self._query(), spec=spec)
+            # An unbalanced quote count is the classic injection/corruption
+            # symptom; doubled quotes keep the total even.
+            assert sql.count("'") % 2 == 0
+            rendered = render_literal(value)
+            assert rendered in sql
+            assert parse_literal(rendered) == value

@@ -93,3 +93,132 @@ class TestCommands:
         )
         assert exit_code == 2
         assert "COLUMN:TEXT" in capsys.readouterr().err
+
+
+class TestTimeoutSurface:
+    def test_search_times_out_structurally_with_exit_code(self, capsys):
+        exit_code = main(
+            [
+                "search",
+                "--database", "nba",
+                "--columns", "2",
+                "--sample", "Lakers;LeBron James",
+                "--time-limit", "0.000001",
+                "--fail-on-timeout",
+            ]
+        )
+        assert exit_code == 3
+        output = capsys.readouterr().out
+        # Structured partial output, not a traceback: the stats line and
+        # the timeout warning are both printed.
+        assert "satisfying queries" in output
+        assert "results are partial" in output
+
+    def test_search_timeout_without_flag_still_exits_zero(self, capsys):
+        exit_code = main(
+            [
+                "search",
+                "--database", "nba",
+                "--columns", "2",
+                "--sample", "Lakers;LeBron James",
+                "--time-limit", "0.000001",
+            ]
+        )
+        assert exit_code == 0
+        assert "results are partial" in capsys.readouterr().out
+
+
+class TestServeBatch:
+    def test_serve_batch_demo_workload(self, capsys):
+        exit_code = main(["serve-batch", "--workers", "2", "--rounds", "1"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "served 3 requests with 2 workers" in output
+        assert "3 builds" in output
+        assert "[demo-mondial-1] mondial: ok" in output
+        assert "latency:" in output
+
+    def test_serve_batch_requests_file(self, capsys, tmp_path):
+        import json
+
+        requests_path = tmp_path / "requests.json"
+        requests_path.write_text(
+            json.dumps(
+                [
+                    {
+                        "database": "nba",
+                        "columns": 2,
+                        "samples": [["Lakers", "LeBron James"]],
+                        "request_id": "file-1",
+                    },
+                    {
+                        "database": "nba",
+                        "columns": 1,
+                        "samples": [["Celtics"]],
+                        "request_id": "file-2",
+                    },
+                ]
+            ),
+            encoding="utf-8",
+        )
+        exit_code = main(
+            ["serve-batch", "--workers", "2", "--requests", str(requests_path)]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "[file-1] nba: ok" in output
+        assert "[file-2] nba: ok" in output
+        # One preprocessing pass serves both requests.
+        assert "1 builds" in output
+
+    def test_serve_batch_persists_artifacts(self, capsys, tmp_path):
+        import json
+
+        requests_path = tmp_path / "requests.json"
+        requests_path.write_text(
+            json.dumps(
+                [
+                    {
+                        "database": "nba",
+                        "columns": 1,
+                        "samples": [["Lakers"]],
+                        "request_id": "warm-1",
+                    }
+                ]
+            ),
+            encoding="utf-8",
+        )
+        args = [
+            "serve-batch",
+            "--workers", "1",
+            "--requests", str(requests_path),
+            "--artifact-dir", str(tmp_path / "artifacts"),
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "1 builds" in first
+        # Second run warm-starts from the persisted bundle.
+        assert main(args) == 0
+        second = capsys.readouterr().out
+        assert "0 builds" in second
+        assert "1 disk loads" in second
+
+    def test_serve_batch_rejects_bad_requests_file(self, capsys, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json", encoding="utf-8")
+        assert main(["serve-batch", "--requests", str(bad)]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_serve_batch_rejects_non_list_payload(self, capsys, tmp_path):
+        not_list = tmp_path / "obj.json"
+        not_list.write_text("{}", encoding="utf-8")
+        assert main(["serve-batch", "--requests", str(not_list)]) == 2
+        assert "JSON list" in capsys.readouterr().err
+
+    def test_serve_batch_rejects_bad_pool_configuration(self, capsys):
+        assert main(["serve-batch", "--rounds", "0"]) == 2
+        assert "error" in capsys.readouterr().err
+        assert main(["serve-batch", "--workers", "0"]) == 2
+        assert "error" in capsys.readouterr().err
+        assert main(["serve-batch", "--queue-size", "0"]) == 2
+        assert "error" in capsys.readouterr().err

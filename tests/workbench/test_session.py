@@ -154,3 +154,121 @@ class TestSearchAndResults:
         session.reset()
         assert session.stage is SessionStage.CONFIGURATION
         assert session.result is None
+
+
+class TestStructuredTimeouts:
+    def test_engine_timeout_becomes_partial_result(
+        self, company_db_session, monkeypatch
+    ):
+        from repro.discovery.engine import Prism
+        from repro.discovery.result import DiscoveryResult, DiscoveryStats
+        from repro.errors import DiscoveryTimeout
+        from repro.query.pj_query import ProjectJoinQuery
+        from repro.dataset.schema import ColumnRef
+
+        session = PrismSession(databases={"company": company_db_session})
+        configure(session)
+        session.set_sample_cell(0, 0, "Engineering")
+        session.set_sample_cell(0, 1, "Query Optimizer")
+
+        partial_stats = DiscoveryStats(scheduler_name="bayesian")
+        partial_stats.validations = 3
+        partial = DiscoveryResult(
+            queries=[
+                ProjectJoinQuery(
+                    (ColumnRef("Department", "Name"), ColumnRef("Project", "Title")),
+                    (
+                        # any valid single edge won't form the full tree, so
+                        # keep a 1-table query for simplicity
+                    ),
+                )
+            ],
+            stats=partial_stats,
+        )
+
+        def raising_discover(self, spec, **kwargs):
+            raise DiscoveryTimeout("deadline exceeded", partial)
+
+        monkeypatch.setattr(Prism, "discover", raising_discover)
+        result = session.search()
+        # The timeout surfaced as a structured result with the partial
+        # queries and their stats, not as an exception.
+        assert session.stage is SessionStage.RESULT
+        assert result.timed_out
+        assert result.stats.validations == 3
+        assert result.num_queries == 1
+        assert session.queries() == result.queries
+
+    def test_timeout_without_partial_result_yields_empty_result(
+        self, company_db_session, monkeypatch
+    ):
+        from repro.discovery.engine import Prism
+        from repro.errors import DiscoveryTimeout
+
+        session = PrismSession(databases={"company": company_db_session})
+        configure(session)
+        session.set_sample_cell(0, 0, "Engineering")
+        session.set_sample_cell(0, 1, "Query Optimizer")
+        monkeypatch.setattr(
+            Prism,
+            "discover",
+            lambda self, spec, **kwargs: (_ for _ in ()).throw(
+                DiscoveryTimeout("deadline exceeded")
+            ),
+        )
+        result = session.search()
+        assert result.timed_out
+        assert result.is_empty
+
+    def test_tiny_time_limit_times_out_structurally(self, company_db_session):
+        session = PrismSession(databases={"company": company_db_session})
+        session.configure("company", num_columns=2, num_samples=1,
+                          time_limit=1e-9)
+        session.set_sample_cell(0, 0, "Engineering")
+        session.set_sample_cell(0, 1, "Query Optimizer")
+        result = session.search()
+        assert result.timed_out
+        assert session.stage is SessionStage.RESULT
+
+
+class TestArtifactStoreBackedSessions:
+    def test_sessions_share_one_preprocessing_pass(self, company_db_session):
+        from repro.service import ArtifactStore
+
+        store = ArtifactStore()
+        first = PrismSession(
+            databases={"company": company_db_session}, artifact_store=store
+        )
+        second = PrismSession(
+            databases={"company": company_db_session}, artifact_store=store
+        )
+        for session in (first, second):
+            configure(session)
+            session.set_sample_cell(0, 0, "Engineering")
+            session.set_sample_cell(0, 1, "Query Optimizer")
+        first_result = first.search()
+        second_result = second.search()
+        assert store.stats.builds == 1
+        assert store.stats.hits >= 1
+        assert first_result.sql() == second_result.sql()
+        # Both sessions' engines view the very same artifact objects.
+        assert first._engine().index is second._engine().index
+
+    def test_store_backed_session_rebuilds_on_data_change(self, company_db):
+        from repro.service import ArtifactStore
+
+        store = ArtifactStore()
+        session = PrismSession(
+            databases={"company": company_db}, artifact_store=store
+        )
+        configure(session)
+        session.set_sample_cell(0, 0, "Engineering")
+        session.set_sample_cell(0, 1, "Query Optimizer")
+        session.search()
+        old_engine = session._engine()
+        company_db.table("Employee").insert(
+            (7, "Grace Ito", "Research", 99_000.0, 31)
+        )
+        session.search()
+        assert store.stats.builds == 2
+        assert session._engine() is not old_engine
