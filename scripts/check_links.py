@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Markdown dead-link checker for README.md and docs/*.md.
+
+Verifies, without any network access, that every Markdown link target
+resolves:
+
+* relative file links point at files that exist (resolved against the
+  linking file's directory);
+* fragment links (``#section``, ``file.md#section``) point at a heading
+  whose GitHub-style anchor slug matches;
+* absolute URLs (http/https/mailto) are skipped — checking them needs a
+  network and they are deliberately rare in this repository.
+
+Run directly (``python scripts/check_links.py [files...]``; defaults to
+``README.md`` and ``docs/*.md`` relative to the repository root) or
+import :func:`check_file` / :func:`main` — the tier-1 test
+``tests/test_docs.py`` and the CI ``docs`` job both do.
+
+Exit status: 0 when every link resolves, 1 otherwise (one diagnostic
+line per broken link).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: ``[text](target)`` — target captured up to the closing parenthesis.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.+?)\s*$", re.MULTILINE)
+_EXTERNAL_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def anchor_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading: lowercase, punctuation
+    stripped, spaces to hyphens (backtick spans contribute their text)."""
+    text = heading.strip().casefold().replace("`", "")
+    # Drop markdown emphasis markers and any remaining punctuation other
+    # than word characters, spaces and hyphens.
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_anchors(path: Path) -> set[str]:
+    """All anchor slugs defined by a Markdown file's headings."""
+    return {
+        anchor_slug(match)
+        for match in _HEADING.findall(path.read_text(encoding="utf-8"))
+    }
+
+
+def check_file(path: Path) -> list[str]:
+    """All broken links of one file, as human-readable diagnostics."""
+    errors = []
+    text = path.read_text(encoding="utf-8")
+    for target in _LINK.findall(text):
+        if target.startswith(_EXTERNAL_SCHEMES):
+            continue
+        file_part, _, fragment = target.partition("#")
+        if file_part:
+            linked = (path.parent / file_part).resolve()
+            if not linked.exists():
+                errors.append(f"{path}: broken link -> {target}")
+                continue
+        else:
+            linked = path
+        if fragment:
+            if linked.suffix != ".md" or not linked.is_file():
+                errors.append(f"{path}: fragment on non-markdown -> {target}")
+            elif fragment not in heading_anchors(linked):
+                errors.append(f"{path}: missing anchor -> {target}")
+    return errors
+
+
+def default_files(root: Path) -> list[Path]:
+    """README.md plus every docs/*.md under ``root``."""
+    files = [root / "README.md"]
+    files.extend(sorted((root / "docs").glob("*.md")))
+    return [path for path in files if path.exists()]
+
+
+def main(argv: list[str]) -> int:
+    if argv:
+        files = [Path(arg) for arg in argv]
+    else:
+        files = default_files(Path(__file__).resolve().parent.parent)
+    if not files:
+        print("no markdown files to check", file=sys.stderr)
+        return 1
+    errors = []
+    for path in files:
+        errors.extend(check_file(path))
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(f"checked {len(files)} file(s): "
+          f"{'OK' if not errors else f'{len(errors)} broken link(s)'}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

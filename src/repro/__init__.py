@@ -88,7 +88,7 @@ from repro.service import (
     DiscoveryResponse,
     DiscoveryService,
 )
-from repro.storage import ColumnStore, StorageBackend
+from repro.storage import ColumnStore, StorageBackend, TableDelta, TableMark
 from repro.workbench import PrismSession
 
 __version__ = "0.1.0"
@@ -125,6 +125,8 @@ __all__ = [
     "SchemaGraph",
     "StorageBackend",
     "Table",
+    "TableDelta",
+    "TableMark",
     "available_databases",
     "generate_synthetic_database",
     "load_database_by_name",

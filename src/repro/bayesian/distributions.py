@@ -88,29 +88,62 @@ class ColumnDistribution:
         self.null_fraction = (
             1.0 - self.non_null_count / row_count if row_count else 0.0
         )
-        frequencies: Counter = Counter()
-        token_frequencies: Counter = Counter()
-        for value, count in pairs:
-            key = normalize_term(value)
-            frequencies[key] += count
-            if data_type is DataType.TEXT:
-                for token in str(value).casefold().split():
-                    token_key = normalize_term(token)
-                    if token_key != key:
-                        token_frequencies[token_key] += count
-        self._frequencies = frequencies
-        self._token_frequencies = token_frequencies
+        self._frequencies: Counter = Counter()
+        self._token_frequencies: Counter = Counter()
         # _numeric is a multiset (order is never observed): values expanded
         # by their counts.
         self._numeric: Optional[np.ndarray] = None
         self._histogram: Optional[tuple[np.ndarray, np.ndarray]] = None
-        if data_type.is_numeric and pairs:
-            self._numeric = np.repeat(
+        self._fold_pairs(pairs)
+
+    def _fold_pairs(self, pairs: list[tuple[Any, int]]) -> None:
+        """Accumulate (non-NULL value, count) pairs into the frequency
+        counters and the numeric multiset + histogram.
+
+        Both the cold fit and :meth:`apply_delta` run this one fold, so a
+        refreshed distribution cannot diverge from a rebuilt one.
+        """
+        for value, count in pairs:
+            key = normalize_term(value)
+            self._frequencies[key] += count
+            if self.data_type is DataType.TEXT:
+                for token in str(value).casefold().split():
+                    token_key = normalize_term(token)
+                    if token_key != key:
+                        self._token_frequencies[token_key] += count
+        if self.data_type.is_numeric and pairs:
+            appended = np.repeat(
                 np.asarray([float(value) for value, __ in pairs]),
                 np.asarray([count for __, count in pairs], dtype=np.int64),
             )
+            self._numeric = (
+                appended if self._numeric is None
+                else np.concatenate([self._numeric, appended])
+            )
             counts, edges = np.histogram(self._numeric, bins=_HISTOGRAM_BINS)
             self._histogram = (counts, edges)
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance
+    # ------------------------------------------------------------------
+    def apply_delta(
+        self, pairs: list[tuple[Any, int]], added_rows: int
+    ) -> None:
+        """Fold appended rows into the distribution in place.
+
+        ``pairs`` are (non-NULL value, count) pairs covering the appended
+        rows; ``added_rows`` is the total number of appended rows
+        including NULLs.  Frequencies and counts come out identical to a
+        from-scratch fit over the grown column (Counter addition is
+        exact); the numeric multiset and its histogram are recomputed so
+        range probabilities match a cold fit bit-for-bit.
+        """
+        self.row_count += added_rows
+        self.non_null_count += sum(count for __, count in pairs)
+        self.null_fraction = (
+            1.0 - self.non_null_count / self.row_count if self.row_count else 0.0
+        )
+        self._fold_pairs(pairs)
 
     # ------------------------------------------------------------------
     # Elementary probabilities

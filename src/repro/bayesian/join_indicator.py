@@ -22,7 +22,14 @@ __all__ = ["JoinIndicatorModel"]
 
 
 class JoinIndicatorModel:
-    """Selectivity statistics for one foreign-key join edge."""
+    """Selectivity statistics for one foreign-key join edge.
+
+    Fitted models retain their sufficient statistics — the normalized
+    key-value frequency counters of both sides plus the two row counts —
+    so appended rows can be folded in incrementally
+    (:meth:`apply_delta`) with the derived probabilities recomputed
+    through exactly the same arithmetic as a from-scratch fit.
+    """
 
     def __init__(
         self,
@@ -37,6 +44,12 @@ class JoinIndicatorModel:
         self.expected_join_size = expected_join_size
         self.child_match_fraction = child_match_fraction
         self.parent_match_fraction = parent_match_fraction
+        # Sufficient statistics; populated by fit(), absent on
+        # hand-constructed models (which then cannot apply deltas).
+        self._child_counts: Counter | None = None
+        self._parent_counts: Counter | None = None
+        self._child_rows = 0
+        self._parent_rows = 0
 
     @classmethod
     def fit(cls, database: Database, foreign_key: ForeignKey) -> "JoinIndicatorModel":
@@ -51,9 +64,41 @@ class JoinIndicatorModel:
         parent_counts: Counter = Counter()
         for value, count in parent.value_counts(foreign_key.parent_column).items():
             parent_counts[normalize_term(value)] += count
-        total_pairs = child.num_rows * parent.num_rows
+        return cls._from_statistics(
+            foreign_key, child_counts, parent_counts,
+            child.num_rows, parent.num_rows,
+        )
+
+    @classmethod
+    def _from_statistics(
+        cls,
+        foreign_key: ForeignKey,
+        child_counts: Counter,
+        parent_counts: Counter,
+        child_rows: int,
+        parent_rows: int,
+    ) -> "JoinIndicatorModel":
+        """Build a model from sufficient statistics (the single place the
+        derived probabilities are computed, shared by fit and refresh)."""
+        model = cls(foreign_key, 0.0, 0.0, 0.0, 0.0)
+        model._child_counts = child_counts
+        model._parent_counts = parent_counts
+        model._child_rows = child_rows
+        model._parent_rows = parent_rows
+        model._recompute()
+        return model
+
+    def _recompute(self) -> None:
+        """Derive the probabilities from the sufficient statistics."""
+        child_counts = self._child_counts
+        parent_counts = self._parent_counts
+        total_pairs = self._child_rows * self._parent_rows
         if total_pairs == 0:
-            return cls(foreign_key, 0.0, 0.0, 0.0, 0.0)
+            self.join_probability = 0.0
+            self.expected_join_size = 0.0
+            self.child_match_fraction = 0.0
+            self.parent_match_fraction = 0.0
+            return
 
         join_size = 0
         matched_child_rows = 0
@@ -67,20 +112,59 @@ class JoinIndicatorModel:
             if value in child_counts:
                 matched_parent_rows += parent_count
 
-        join_probability = join_size / total_pairs
-        child_match_fraction = (
-            matched_child_rows / child.num_rows if child.num_rows else 0.0
+        self.join_probability = join_size / total_pairs
+        self.expected_join_size = float(join_size)
+        self.child_match_fraction = (
+            matched_child_rows / self._child_rows if self._child_rows else 0.0
         )
-        parent_match_fraction = (
-            matched_parent_rows / parent.num_rows if parent.num_rows else 0.0
+        self.parent_match_fraction = (
+            matched_parent_rows / self._parent_rows if self._parent_rows else 0.0
         )
-        return cls(
-            foreign_key=foreign_key,
-            join_probability=join_probability,
-            expected_join_size=float(join_size),
-            child_match_fraction=child_match_fraction,
-            parent_match_fraction=parent_match_fraction,
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance
+    # ------------------------------------------------------------------
+    @property
+    def supports_delta(self) -> bool:
+        """Whether the model retains the counters :meth:`apply_delta`
+        folds into (models unpickled from bundles built before
+        incremental maintenance existed, or constructed by hand, do not)."""
+        return getattr(self, "_child_counts", None) is not None and (
+            getattr(self, "_parent_counts", None) is not None
         )
+
+    def apply_delta(
+        self,
+        child_values,
+        parent_values,
+        child_rows: "int | None" = None,
+        parent_rows: "int | None" = None,
+    ) -> None:
+        """Fold appended key values of either side into the model.
+
+        ``child_values``/``parent_values`` are the non-NULL key cells
+        appended to each side (empty when that side did not change);
+        ``child_rows``/``parent_rows`` are the post-delta row counts
+        (``None`` keeps the side's current count).  The counters are
+        exact, so the recomputed probabilities equal a from-scratch fit
+        bit-for-bit.  Raises :class:`~repro.errors.TrainingError` when
+        the model lacks its sufficient statistics (see
+        :attr:`supports_delta`).
+        """
+        if not self.supports_delta:
+            raise TrainingError(
+                f"join model for {self.foreign_key} carries no sufficient "
+                "statistics; refit it"
+            )
+        for value, count in Counter(child_values).items():
+            self._child_counts[normalize_term(value)] += count
+        for value, count in Counter(parent_values).items():
+            self._parent_counts[normalize_term(value)] += count
+        if child_rows is not None:
+            self._child_rows = child_rows
+        if parent_rows is not None:
+            self._parent_rows = parent_rows
+        self._recompute()
 
     @staticmethod
     def key(foreign_key: ForeignKey) -> tuple[str, str, str, str]:

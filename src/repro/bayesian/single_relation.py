@@ -10,6 +10,7 @@ yields the probability that *at least one* record matches.
 from __future__ import annotations
 
 import math
+from collections import Counter
 from typing import Mapping, Optional
 
 from repro.bayesian.distributions import ColumnDistribution
@@ -62,6 +63,26 @@ class SingleRelationModel:
                     table.column_values(column.name),
                 )
         return cls(table.name, table.num_rows, distributions)
+
+    def apply_delta(self, delta, columns) -> None:
+        """Fold one table's appended rows into the model in place.
+
+        ``delta`` is a :class:`~repro.storage.TableDelta` and ``columns``
+        the table's :class:`~repro.dataset.schema.Column` definitions in
+        position order.  Text columns aggregate their delta into
+        per-distinct-value counts first (mirroring the columnar fit), so
+        repeated strings are normalized and tokenized once.
+        """
+        for column, column_delta in zip(columns, delta.columns):
+            distribution = self.distribution(column.name)
+            if column.data_type is DataType.TEXT:
+                pairs = list(Counter(column_delta.non_null_values).items())
+            else:
+                pairs = [
+                    (value, 1) for value in column_delta.non_null_values
+                ]
+            distribution.apply_delta(pairs, added_rows=len(column_delta.values))
+        self.row_count += delta.num_rows
 
     def distribution(self, column_name: str) -> ColumnDistribution:
         """The distribution for ``column_name``."""

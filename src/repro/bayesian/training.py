@@ -11,7 +11,7 @@ scheduler consumes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Mapping
 
 from repro.bayesian.estimator import SelectivityEstimator
 from repro.bayesian.join_indicator import JoinIndicatorModel
@@ -39,6 +39,68 @@ class BayesianModelSet:
     def estimator(self) -> SelectivityEstimator:
         """Build the selectivity estimator backed by these models."""
         return SelectivityEstimator(self.relation_models, self.join_models)
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance
+    # ------------------------------------------------------------------
+    @property
+    def supports_delta(self) -> bool:
+        """Whether every member model can fold append deltas in place."""
+        return all(
+            model.supports_delta for model in self.join_models.values()
+        )
+
+    def apply_delta(
+        self,
+        database: Database,
+        deltas: Mapping[str, "TableDelta"],
+        trained_on: tuple,
+    ) -> None:
+        """Fold appended rows into every affected model in place.
+
+        Relation models of changed tables absorb their table's delta;
+        join models are updated whenever either endpoint's key column
+        gained rows.  ``trained_on`` is the artifact key of the
+        post-delta state.  Raises :class:`TrainingError` when a changed
+        table has no fitted model or a join model lacks its sufficient
+        statistics.
+        """
+        for table_name, delta in deltas.items():
+            model = self.relation_models.get(table_name)
+            if model is None:
+                raise TrainingError(
+                    f"no relation model for table {table_name!r}; retrain"
+                )
+            model.apply_delta(delta, database.table(table_name).columns)
+        for join_model in self.join_models.values():
+            foreign_key = join_model.foreign_key
+            child_delta = deltas.get(foreign_key.child_table)
+            parent_delta = deltas.get(foreign_key.parent_table)
+            if child_delta is None and parent_delta is None:
+                continue
+            join_model.apply_delta(
+                child_values=self._key_values(
+                    database, child_delta,
+                    foreign_key.child_table, foreign_key.child_column,
+                ),
+                parent_values=self._key_values(
+                    database, parent_delta,
+                    foreign_key.parent_table, foreign_key.parent_column,
+                ),
+                child_rows=None if child_delta is None else child_delta.end_row,
+                parent_rows=(
+                    None if parent_delta is None else parent_delta.end_row
+                ),
+            )
+        self.trained_on = trained_on
+
+    @staticmethod
+    def _key_values(database, delta, table_name: str, column_name: str):
+        """Non-NULL appended cells of one join-key column ([] if unchanged)."""
+        if delta is None:
+            return []
+        position = database.table(table_name).column_position(column_name)
+        return delta.columns[position].non_null_values
 
     @property
     def num_relation_models(self) -> int:

@@ -20,7 +20,21 @@ __all__ = ["MappingSpec"]
 
 
 class MappingSpec:
-    """A complete multiresolution schema mapping request."""
+    """A complete multiresolution schema mapping request.
+
+    Example:
+        >>> from repro import MappingSpec, parse_value_constraint
+        >>> spec = MappingSpec(num_columns=2)
+        >>> _ = spec.add_sample_cells([
+        ...     parse_value_constraint("California || Nevada"),
+        ...     None,                         # this cell is unknown
+        ... ])
+        >>> spec.constrained_positions()
+        [0]
+        >>> spec.validate()                   # raises SpecError if unusable
+        >>> spec
+        MappingSpec(columns=2, samples=1, metadata=0)
+    """
 
     def __init__(
         self,

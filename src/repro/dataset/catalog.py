@@ -9,13 +9,13 @@ deviation.  The same statistics later feed the Bayesian selectivity models.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Optional
+from dataclasses import dataclass, replace
+from typing import Any, Mapping, Optional
 
 from repro.dataset.database import Database
 from repro.dataset.schema import ColumnRef
 from repro.dataset.types import DataType
-from repro.errors import SchemaError
+from repro.errors import ArtifactError, SchemaError
 
 __all__ = ["ColumnStats", "MetadataCatalog"]
 
@@ -66,6 +66,13 @@ class MetadataCatalog:
     def __init__(self) -> None:
         self._stats: dict[ColumnRef, ColumnStats] = {}
         self._table_rows: dict[str, int] = {}
+        # Sufficient statistics for incremental maintenance: per-column
+        # distinct-value sets (columns collected via the generic path) and
+        # (sum, sum-of-squares) running moments for numeric columns.  Text
+        # columns collected from a backend dictionary need neither — the
+        # dictionary itself is the distinct set.
+        self._distinct_values: dict[ColumnRef, set] = {}
+        self._numeric_moments: dict[ColumnRef, tuple[float, float]] = {}
         #: Artifact key of the database this catalog was built from (empty
         #: for hand-assembled catalogs); see :meth:`Database.artifact_key`.
         self.built_from: tuple = ()
@@ -96,7 +103,7 @@ class MetadataCatalog:
                             null_count=table.null_count(column.name),
                         )
                 if stats is None:
-                    stats = cls._collect(
+                    stats = catalog._collect(
                         ref, column.data_type, table.column_values(column.name)
                     )
                 catalog._stats[ref] = stats
@@ -133,14 +140,18 @@ class MetadataCatalog:
             max_text_length=max_text_length,
         )
 
-    @staticmethod
     def _collect(
-        ref: ColumnRef, data_type: DataType, values: list[Any]
+        self, ref: ColumnRef, data_type: DataType, values: list[Any]
     ) -> ColumnStats:
+        """Generic statistics collection, recording the sufficient
+        statistics (distinct set, numeric running moments) that
+        :meth:`apply_delta` later folds appended rows into."""
         non_null = [value for value in values if value is not None]
         row_count = len(values)
         null_count = row_count - len(non_null)
-        distinct_count = len(set(non_null))
+        distinct = set(non_null)
+        distinct_count = len(distinct)
+        self._distinct_values[ref] = distinct
 
         min_value: Optional[Any] = None
         max_value: Optional[Any] = None
@@ -160,8 +171,13 @@ class MetadataCatalog:
                 except TypeError:
                     min_value = None
                     max_value = None
-            if data_type.is_numeric:
-                numeric = [float(value) for value in non_null]
+        if data_type.is_numeric:
+            numeric = [float(value) for value in non_null]
+            self._numeric_moments[ref] = (
+                sum(numeric),
+                sum(value * value for value in numeric),
+            )
+            if numeric:
                 mean, stddev = _numeric_moments(numeric)
 
         return ColumnStats(
@@ -170,6 +186,165 @@ class MetadataCatalog:
             row_count=row_count,
             null_count=null_count,
             distinct_count=distinct_count,
+            min_value=min_value,
+            max_value=max_value,
+            max_text_length=max_text_length,
+            mean=mean,
+            stddev=stddev,
+        )
+
+    # ------------------------------------------------------------------
+    # Incremental maintenance
+    # ------------------------------------------------------------------
+    @property
+    def supports_delta(self) -> bool:
+        """Whether this catalog carries the sufficient statistics that
+        :meth:`apply_delta` needs (catalogs unpickled from bundles built
+        before incremental maintenance existed do not)."""
+        return hasattr(self, "_distinct_values") and hasattr(
+            self, "_numeric_moments"
+        )
+
+    def apply_delta(
+        self,
+        database: Database,
+        deltas: Mapping[str, Any],
+        built_from: tuple,
+    ) -> None:
+        """Fold appended rows into the per-column statistics in place.
+
+        ``deltas`` maps table name → :class:`~repro.storage.TableDelta`.
+        Counts, min/max and distinct counts come out identical to a
+        from-scratch build; the numeric mean/stddev are maintained as
+        running moments and may differ from a cold two-pass computation
+        by floating-point rounding only.  Raises
+        :class:`~repro.errors.ArtifactError` when the catalog lacks the
+        sufficient statistics for a column (see :attr:`supports_delta`).
+        """
+        if not self.supports_delta:
+            raise ArtifactError(
+                "this catalog predates incremental maintenance; rebuild it"
+            )
+        for table_name, delta in deltas.items():
+            table = database.table(table_name)
+            for column, column_delta in zip(table.columns, delta.columns):
+                ref = ColumnRef(table_name, column.name)
+                old = self.stats(ref)
+                if column_delta.is_text and column_delta.dictionary is not None:
+                    self._stats[ref] = self._fold_text_delta(old, column_delta)
+                else:
+                    self._stats[ref] = self._fold_generic_delta(
+                        ref, old, column_delta
+                    )
+            self._table_rows[table_name] = delta.end_row
+        self.built_from = built_from
+
+    @staticmethod
+    def _fold_text_delta(old: ColumnStats, column_delta) -> ColumnStats:
+        """Update a dictionary-encoded text column's statistics.
+
+        The backend dictionary is an append-only distinct set, so the
+        delta's ``new_dictionary_entries`` are exactly the strings first
+        seen in the appended rows.
+        """
+        new_entries = column_delta.new_dictionary_entries
+        min_value = old.min_value
+        max_value = old.max_value
+        max_text_length = old.max_text_length
+        if new_entries:
+            entry_min = min(new_entries)
+            entry_max = max(new_entries)
+            longest = max(len(entry) for entry in new_entries)
+            min_value = (
+                entry_min if min_value is None or entry_min < min_value
+                else min_value
+            )
+            max_value = (
+                entry_max if max_value is None or entry_max > max_value
+                else max_value
+            )
+            max_text_length = (
+                longest if max_text_length is None or longest > max_text_length
+                else max_text_length
+            )
+        return replace(
+            old,
+            row_count=old.row_count + len(column_delta.values),
+            null_count=old.null_count + column_delta.null_count,
+            distinct_count=old.distinct_count + len(new_entries),
+            min_value=min_value,
+            max_value=max_value,
+            max_text_length=max_text_length,
+        )
+
+    def _fold_generic_delta(
+        self, ref: ColumnRef, old: ColumnStats, column_delta
+    ) -> ColumnStats:
+        """Update a generically collected column's statistics."""
+        distinct = self._distinct_values.get(ref)
+        if distinct is None:
+            raise ArtifactError(
+                f"no sufficient statistics recorded for column {ref}"
+            )
+        non_null = column_delta.non_null_values
+        distinct.update(non_null)
+
+        min_value = old.min_value
+        max_value = old.max_value
+        max_text_length = old.max_text_length
+        if non_null:
+            if old.data_type is DataType.TEXT:
+                as_text = [str(value) for value in non_null]
+                delta_longest = max(len(value) for value in as_text)
+                max_text_length = (
+                    delta_longest
+                    if max_text_length is None or delta_longest > max_text_length
+                    else max_text_length
+                )
+                pool = as_text if min_value is None else [min_value, *as_text]
+                min_value = min(pool)
+                max_value = max(
+                    as_text if max_value is None else [max_value, *as_text]
+                )
+            elif old.non_null_count and old.min_value is None:
+                # The pre-delta values were mutually uncomparable; a cold
+                # rebuild over the grown column would fail the same way.
+                pass
+            else:
+                try:
+                    pool = (
+                        non_null if not old.non_null_count
+                        else [old.min_value, *non_null]
+                    )
+                    min_value = min(pool)
+                    max_value = max(
+                        non_null if not old.non_null_count
+                        else [old.max_value, *non_null]
+                    )
+                except TypeError:
+                    min_value = None
+                    max_value = None
+
+        mean = old.mean
+        stddev = old.stddev
+        if old.data_type.is_numeric:
+            total, sum_squares = self._numeric_moments.get(ref, (0.0, 0.0))
+            for value in non_null:
+                as_float = float(value)
+                total += as_float
+                sum_squares += as_float * as_float
+            self._numeric_moments[ref] = (total, sum_squares)
+            count = old.non_null_count + len(non_null)
+            if count:
+                mean = total / count
+                variance = max(0.0, sum_squares / count - mean * mean)
+                stddev = variance ** 0.5
+
+        return replace(
+            old,
+            row_count=old.row_count + len(column_delta.values),
+            null_count=old.null_count + column_delta.null_count,
+            distinct_count=len(distinct),
             min_value=min_value,
             max_value=max_value,
             max_text_length=max_text_length,

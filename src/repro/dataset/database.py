@@ -216,6 +216,47 @@ class Database:
         """
         return (self.name, self._schema_version, self.data_version)
 
+    # ------------------------------------------------------------------
+    # Append deltas
+    # ------------------------------------------------------------------
+    def storage_marks(self) -> Optional[dict]:
+        """Per-table :class:`~repro.storage.TableMark` fingerprints.
+
+        Captured when preprocessing artifacts are published, so a later
+        :meth:`storage_deltas_since` can derive exactly which rows were
+        appended in between.  Returns ``None`` when any table's backend
+        does not support delta tracking.
+        """
+        marks = {}
+        for table in self._tables.values():
+            mark = table.backend.table_mark(table.name)
+            if mark is None:
+                return None
+            marks[table.name] = mark
+        return marks
+
+    def storage_deltas_since(self, marks: dict) -> Optional[dict]:
+        """Append deltas for every table that changed since ``marks``.
+
+        Returns a mapping of table name →
+        :class:`~repro.storage.TableDelta` covering only the tables with
+        appended rows (unchanged tables are omitted), or ``None`` when
+        the difference cannot be expressed as pure appends: the table set
+        changed, a backend does not track deltas, or a table saw a
+        non-append write.  Callers fall back to full rebuilds on ``None``.
+        """
+        if set(marks) != set(self._tables):
+            return None
+        deltas = {}
+        for table in self._tables.values():
+            mark = marks[table.name]
+            delta = table.backend.delta_since(table.name, mark)
+            if delta is None:
+                return None
+            if delta.num_rows:
+                deltas[table.name] = delta
+        return deltas
+
     @property
     def total_rows(self) -> int:
         """Total number of rows across every table."""

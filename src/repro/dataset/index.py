@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import re
 from collections import defaultdict
-from typing import Any, Iterable, Optional
+from typing import Any, Iterable, Mapping, Optional, Sequence
 
 from repro.dataset.database import Database
 from repro.dataset.schema import ColumnRef
@@ -112,6 +112,73 @@ class InvertedIndex:
                     index._add(table.name, column.name, row_index, value,
                                column.data_type)
         return index
+
+    def apply_delta(
+        self,
+        database: Database,
+        deltas: Mapping[str, "TableDelta"],
+        built_from: tuple,
+    ) -> None:
+        """Fold appended rows into the index instead of rebuilding it.
+
+        ``deltas`` maps table name → :class:`~repro.storage.TableDelta`
+        as produced by :meth:`Database.storage_deltas_since`.  Only new
+        postings are appended — existing postings are never touched, so
+        the result is identical (as a multiset of postings per term) to a
+        from-scratch build over the grown database.  ``built_from`` is
+        the artifact key of the post-delta state.
+        """
+        for table_name, delta in deltas.items():
+            table = database.table(table_name)
+            for column, column_delta in zip(table.columns, delta.columns):
+                if column_delta.codes is not None:
+                    self._add_encoded_delta(
+                        table_name,
+                        column.name,
+                        column_delta.codes,
+                        column_delta.dictionary,
+                        row_offset=delta.start_row,
+                    )
+                    continue
+                for offset, value in enumerate(column_delta.values):
+                    if value is None:
+                        continue
+                    self._add(table_name, column.name,
+                              delta.start_row + offset, value,
+                              column.data_type)
+        self.built_from = built_from
+
+    def _add_encoded_delta(
+        self,
+        table: str,
+        column: str,
+        codes: Sequence[int],
+        dictionary: Sequence[str],
+        row_offset: int,
+    ) -> None:
+        """Index appended rows of an encoded text column.
+
+        Normalizing and tokenizing run once per *referenced* dictionary
+        entry (not once per entry, as the cold build does), so the work is
+        proportional to the delta, not to the column's distinct set.
+        """
+        cache: dict[int, tuple[str, list[str]]] = {}
+        exact = self._exact
+        tokens = self._tokens
+        for offset, code in enumerate(codes):
+            if code < 0:
+                continue
+            entry = cache.get(code)
+            if entry is None:
+                value = dictionary[code]
+                key = normalize_term(value)
+                entry = (key, [t for t in _tokenize(value) if t != key])
+                cache[code] = entry
+            posting = Posting(table, column, row_offset + offset)
+            exact[entry[0]].append(posting)
+            self._indexed_cells += 1
+            for token in entry[1]:
+                tokens[token].append(posting)
 
     def _add_encoded(
         self,

@@ -44,6 +44,36 @@ class SchemaGraph:
             )
 
     # ------------------------------------------------------------------
+    # Incremental maintenance
+    # ------------------------------------------------------------------
+    def apply_delta(self, database: Database, built_from: tuple) -> None:
+        """Re-stamp the graph for a database that only grew by appends.
+
+        The graph's structure depends exclusively on the schema (tables
+        and foreign keys), which appends never change, so incremental
+        maintenance reduces to re-pointing at the live database and
+        updating ``built_from``.  Raises
+        :class:`~repro.errors.SchemaError` when the table set or the
+        foreign-key set differs — callers must rebuild in that case.
+        """
+        if set(database.table_names) != set(self._graph.nodes):
+            raise SchemaError(
+                "the schema graph's table set no longer matches the "
+                "database; rebuild the graph"
+            )
+        live_edges = set(database.foreign_keys)
+        graph_edges = {
+            data["fk"] for __, __, data in self._graph.edges(data=True)
+        }
+        if live_edges != graph_edges:
+            raise SchemaError(
+                "the schema graph's foreign-key set no longer matches the "
+                "database; rebuild the graph"
+            )
+        self._database = database
+        self.built_from = built_from
+
+    # ------------------------------------------------------------------
     # Basic queries
     # ------------------------------------------------------------------
     @property

@@ -35,7 +35,24 @@ DEFAULT_TIME_LIMIT_SECONDS = 60.0
 
 
 class Prism:
-    """Multiresolution schema mapping query discovery over one database."""
+    """Multiresolution schema mapping query discovery over one database.
+
+    Example:
+        >>> from repro import (Column, Database, DataType, MappingSpec,
+        ...                    Prism, parse_value_constraint)
+        >>> db = Database("docs")
+        >>> city = db.create_table("City", [
+        ...     Column("Name", DataType.TEXT),
+        ...     Column("Population", DataType.INT),
+        ... ])
+        >>> city.insert_many([("Springfield", 117_000), ("Shelbyville", 42_000)])
+        2
+        >>> prism = Prism(db, time_limit=5.0)
+        >>> spec = MappingSpec(num_columns=2)
+        >>> _ = spec.add_sample_cells([parse_value_constraint("Springfield"), None])
+        >>> prism.discover(spec).sql()
+        ['SELECT City.Name, City.Population FROM City']
+    """
 
     def __init__(
         self,

@@ -15,10 +15,14 @@ makes that split explicit:
   optionally persisted to disk so process restarts and sibling processes
   warm-start instead of re-preprocessing.
 
-Bundles are strictly read-only after construction; every consumer
+Bundles are read-only to every consumer
 (:class:`~repro.discovery.engine.Prism` engines, the
-:class:`~repro.service.DiscoveryService` worker pool) layers its own
-mutable state (executor caches, statistics) on top.
+:class:`~repro.service.DiscoveryService` worker pool): consumers layer
+their own mutable state (executor caches, statistics) on top.  The one
+writer is :meth:`ArtifactStore.refresh`, which — under the per-database
+build lock — upgrades a bundle to a newer database state by folding the
+append delta into its artifacts in place instead of rebuilding them
+(see ``docs/incremental.md``).
 """
 
 from __future__ import annotations
@@ -27,7 +31,7 @@ import pickle
 import re
 import threading
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Optional, Union
 
@@ -36,7 +40,7 @@ from repro.dataset.catalog import MetadataCatalog
 from repro.dataset.database import Database
 from repro.dataset.index import InvertedIndex
 from repro.dataset.schema_graph import SchemaGraph
-from repro.errors import ArtifactError
+from repro.errors import ArtifactError, ReproError
 
 __all__ = ["ArtifactKey", "ArtifactBundle", "ArtifactStore", "ArtifactStoreStats"]
 
@@ -79,6 +83,11 @@ class ArtifactBundle:
     loaded from disk that is a private unpickled copy, fully isolated from
     the caller's objects), so serving from a bundle never races with
     mutations of the database the caller passed in.
+
+    ``marks`` records one storage :class:`~repro.storage.TableMark` per
+    table, captured at build time; :meth:`ArtifactStore.refresh` compares
+    them against the live database to derive the append delta that
+    upgrades this bundle in place instead of rebuilding it.
     """
 
     key: ArtifactKey
@@ -87,6 +96,7 @@ class ArtifactBundle:
     catalog: MetadataCatalog
     schema_graph: SchemaGraph
     models: Optional[BayesianModelSet]
+    marks: Optional[dict] = None
 
     @property
     def trained(self) -> bool:
@@ -102,7 +112,15 @@ class ArtifactBundle:
 
 @dataclass
 class ArtifactStoreStats:
-    """Counters describing how the store satisfied its requests."""
+    """Counters describing how the store satisfied its requests.
+
+    The refresh counters describe the incremental-maintenance path:
+    ``refreshes`` counts bundles upgraded in place by folding append
+    deltas, ``delta_rows_applied`` the total rows folded that way, and
+    ``rebuild_fallbacks`` the :meth:`ArtifactStore.refresh` calls that
+    had to fall back to a full rebuild, broken down by cause in
+    ``fallback_reasons`` (see ``docs/incremental.md``).
+    """
 
     hits: int = 0
     builds: int = 0
@@ -110,8 +128,13 @@ class ArtifactStoreStats:
     disk_writes: int = 0
     disk_errors: int = 0
     invalidations: int = 0
+    refreshes: int = 0
+    delta_rows_applied: int = 0
+    rebuild_fallbacks: int = 0
     hits_by_database: Counter = field(default_factory=Counter)
     builds_by_database: Counter = field(default_factory=Counter)
+    refreshes_by_database: Counter = field(default_factory=Counter)
+    fallback_reasons: Counter = field(default_factory=Counter)
 
     def as_dict(self) -> dict:
         """Plain-dict snapshot used by service metrics and reports."""
@@ -122,8 +145,13 @@ class ArtifactStoreStats:
             "disk_writes": self.disk_writes,
             "disk_errors": self.disk_errors,
             "invalidations": self.invalidations,
+            "refreshes": self.refreshes,
+            "delta_rows_applied": self.delta_rows_applied,
+            "rebuild_fallbacks": self.rebuild_fallbacks,
             "hits_by_database": dict(self.hits_by_database),
             "builds_by_database": dict(self.builds_by_database),
+            "refreshes_by_database": dict(self.refreshes_by_database),
+            "fallback_reasons": dict(self.fallback_reasons),
         }
 
 
@@ -137,12 +165,34 @@ class ArtifactStore:
     ``persist_dir``, freshly built bundles are pickled to disk and a new
     process (or a restart) warm-starts by loading them instead of
     rebuilding.
+
+    For databases that keep growing, :meth:`refresh` upgrades a cached
+    bundle by folding the append delta into it instead of rebuilding —
+    see ``docs/incremental.md``.
+
+    Example:
+        >>> from repro import ArtifactStore, Column, Database, DataType
+        >>> db = Database("docs")
+        >>> items = db.create_table("Item", [Column("Name", DataType.TEXT)])
+        >>> items.insert_many([("Hammer",), ("Nail",), ("Saw",), ("Vase",)])
+        4
+        >>> store = ArtifactStore()
+        >>> bundle = store.get(db)           # builds index/catalog/models
+        >>> store.get(db) is bundle          # unchanged state: cache hit
+        True
+        >>> items.insert(("Bolt",))          # the append moves the key...
+        >>> fresh = store.refresh(db)        # ...folded in incrementally
+        >>> (store.stats.builds, store.stats.refreshes)
+        (1, 1)
+        >>> fresh.key == ArtifactKey.for_database(db)
+        True
     """
 
     def __init__(
         self,
         persist_dir: Optional[Union[str, Path]] = None,
         train_bayesian: bool = True,
+        max_delta_fraction: float = 0.25,
     ):
         """Create a store.
 
@@ -151,9 +201,18 @@ class ArtifactStore:
                 write).  ``None`` disables persistence.
             train_bayesian: include trained Bayesian models in built
                 bundles (required for the ``bayesian`` scheduler).
+            max_delta_fraction: bound on the append delta
+                :meth:`refresh` will fold incrementally, as a fraction of
+                the bundle's row count; larger deltas fall back to a
+                full rebuild (at that size a rebuild is competitive and
+                resets any accumulated floating-point drift in the
+                catalog's running moments).
         """
+        if max_delta_fraction <= 0:
+            raise ArtifactError("max_delta_fraction must be positive")
         self._persist_dir = Path(persist_dir) if persist_dir is not None else None
         self._train_bayesian = train_bayesian
+        self._max_delta_fraction = max_delta_fraction
         self._bundles: dict[str, ArtifactBundle] = {}
         self._build_locks: dict[str, threading.Lock] = {}
         self._mutex = threading.Lock()
@@ -168,20 +227,67 @@ class ArtifactStore:
         Thread-safe: concurrent callers for the same database state block
         on one build and then all share the single resulting bundle.
         """
+        return self._current_bundle(database, try_refresh=False)
+
+    def refresh(self, database: Database) -> ArtifactBundle:
+        """The current bundle for ``database``, upgraded incrementally.
+
+        Like :meth:`get`, but when a cached bundle exists for an earlier
+        state of the same schema, the append delta since that state is
+        folded into the bundle's artifacts in place (index, catalog,
+        schema-graph statistics, Bayesian sufficient statistics) instead
+        of rebuilding them from scratch — typically an order of magnitude
+        faster for small deltas (see ``benchmarks/test_bench_incremental.py``).
+
+        The delta path falls back to a counted full rebuild
+        (``stats.rebuild_fallbacks``, per-cause in
+        ``stats.fallback_reasons``) when the change is not expressible as
+        pure appends or would mutate shared state unsafely: a schema
+        change, a dropped/recreated table, a non-append storage write, a
+        delta larger than ``max_delta_fraction`` of the bundle, a bundle
+        loaded from disk (whose database is a private copy detached from
+        the live one), or a bundle that predates delta support.
+
+        Concurrency: the upgrade runs under the same per-database build
+        lock as :meth:`get`.  Artifacts are upgraded additively in place,
+        so a reader holding the pre-refresh bundle may observe some of
+        the appended rows mid-refresh — equivalent to the insert having
+        become visible, never a torn structure.
+        """
+        return self._current_bundle(database, try_refresh=True)
+
+    def _current_bundle(
+        self, database: Database, try_refresh: bool
+    ) -> ArtifactBundle:
+        """The shared cache protocol behind :meth:`get` and :meth:`refresh`.
+
+        Unlocked fast path on a key hit, then (under the per-database
+        build lock) double-check, optionally attempt the incremental
+        upgrade, and finally fall back to persisted-load or a full build.
+        """
         key = ArtifactKey.for_database(database)
         bundle = self._bundles.get(key.database)
         if bundle is not None and bundle.key == key:
             self._record_hit(key.database)
             return bundle
         with self._build_lock(key.database):
-            # Double-checked: a racing caller may have built this state
-            # while we waited for the build lock.
+            # Re-read the state: a racing caller may have refreshed or
+            # rebuilt while we waited for the build lock.
+            key = ArtifactKey.for_database(database)
             bundle = self._bundles.get(key.database)
             if bundle is not None and bundle.key == key:
                 self._record_hit(key.database)
                 return bundle
             if bundle is not None:
+                if try_refresh:
+                    upgraded = self._refresh_bundle(bundle, database)
+                    if upgraded is not None:
+                        self._bundles[key.database] = upgraded
+                        self._persist(upgraded)
+                        return upgraded
                 with self._mutex:
+                    if try_refresh:
+                        self.stats.rebuild_fallbacks += 1
                     self.stats.invalidations += 1
             fresh = self._load_persisted(key)
             if fresh is None:
@@ -189,6 +295,106 @@ class ArtifactStore:
                 self._persist(fresh)
             self._bundles[key.database] = fresh
             return fresh
+
+    def _refresh_bundle(
+        self, bundle: ArtifactBundle, database: Database
+    ) -> Optional[ArtifactBundle]:
+        """Upgrade ``bundle`` to the database's current state via deltas.
+
+        Returns ``None`` (after recording the cause in
+        ``stats.fallback_reasons``) whenever the incremental path does
+        not apply; the caller then rebuilds from scratch.
+        """
+        if database.schema_version != bundle.key.schema_version:
+            return self._fallback("schema_change")
+        if bundle.database is not database:
+            # A disk-loaded bundle's database is a private unpickled copy
+            # frozen at load time; folding the live delta into artifacts
+            # shared with readers of that copy would hand them postings
+            # past the copy's row count.  Rebuild once — the rebuilt
+            # bundle references the live database and refreshes fine from
+            # then on.
+            return self._fallback("detached_database")
+        marks = getattr(bundle, "marks", None)
+        if not marks or not self._bundle_supports_delta(bundle):
+            return self._fallback("unsupported_bundle")
+        deltas = database.storage_deltas_since(marks)
+        if deltas is None:
+            return self._fallback("non_append_change")
+        if not deltas:
+            # The key moved but no table reports appended rows — the
+            # bundle and the live storage disagree; trust neither.
+            return self._fallback("inconsistent_marks")
+        delta_rows = sum(delta.num_rows for delta in deltas.values())
+        base_rows = sum(mark.num_rows for mark in marks.values())
+        if base_rows == 0 or delta_rows > self._max_delta_fraction * base_rows:
+            return self._fallback("delta_overflow")
+
+        new_marks = dict(marks)
+        for table_name, delta in deltas.items():
+            new_marks[table_name] = delta.new_mark
+        # The target key is derived from the captured marks, not from the
+        # live database: appends racing with the upgrade simply leave the
+        # result one delta behind, to be caught up by the next refresh.
+        target_key = ArtifactKey(
+            database.name,
+            bundle.key.schema_version,
+            (
+                bundle.key.schema_version,
+                len(new_marks),
+                sum(mark.version for mark in new_marks.values()),
+            ),
+        )
+        built_from = (
+            target_key.database,
+            target_key.schema_version,
+            target_key.data_version,
+        )
+        try:
+            bundle.index.apply_delta(database, deltas, built_from=built_from)
+            bundle.catalog.apply_delta(database, deltas, built_from=built_from)
+            bundle.schema_graph.apply_delta(database, built_from=built_from)
+            if bundle.models is not None:
+                bundle.models.apply_delta(
+                    database, deltas, trained_on=built_from
+                )
+        except ReproError:
+            # The artifacts may be half-upgraded; drop the bundle so the
+            # fallback rebuild (and every later request) starts clean.
+            self._bundles.pop(database.name, None)
+            return self._fallback("apply_failed")
+        except BaseException:
+            # Same eviction for unexpected failures (MemoryError, a
+            # KeyboardInterrupt mid-apply): were the half-upgraded bundle
+            # left cached under its old key and marks, the next refresh
+            # would fold the same delta in a second time.
+            self._bundles.pop(database.name, None)
+            raise
+        with self._mutex:
+            self.stats.refreshes += 1
+            self.stats.delta_rows_applied += delta_rows
+            self.stats.refreshes_by_database[database.name] += 1
+        return replace(
+            bundle, key=target_key, database=database, marks=new_marks
+        )
+
+    @staticmethod
+    def _bundle_supports_delta(bundle: ArtifactBundle) -> bool:
+        """Whether every artifact carries its incremental-maintenance
+        state (bundles persisted before this feature existed do not)."""
+        if not getattr(bundle.catalog, "supports_delta", False):
+            return False
+        models = bundle.models
+        if models is not None and not getattr(models, "supports_delta", False):
+            return False
+        return True
+
+    def _fallback(self, reason: str) -> None:
+        """Record why the delta path was abandoned; returns ``None`` so
+        callers can ``return self._fallback(...)``."""
+        with self._mutex:
+            self.stats.fallback_reasons[reason] += 1
+        return None
 
     def cached_bundle(self, database_name: str) -> Optional[ArtifactBundle]:
         """The in-memory bundle for ``database_name``, if any (no build)."""
@@ -209,6 +415,7 @@ class ArtifactStore:
     def build(self, database: Database) -> ArtifactBundle:
         """Build a bundle from scratch (no cache interaction besides stats)."""
         key = ArtifactKey.for_database(database)
+        marks = database.storage_marks()
         index = InvertedIndex.build(database)
         catalog = MetadataCatalog.build(database)
         schema_graph = SchemaGraph(database)
@@ -229,6 +436,7 @@ class ArtifactStore:
             catalog=catalog,
             schema_graph=schema_graph,
             models=models,
+            marks=marks,
         )
 
     def persisted_path(self, key: ArtifactKey) -> Optional[Path]:

@@ -193,7 +193,28 @@ class ServiceMetrics:
 
 
 class DiscoveryService:
-    """Concurrent discovery over a fixed set of named databases."""
+    """Concurrent discovery over a fixed set of named databases.
+
+    Example:
+        >>> from repro import (Column, Database, DataType, DiscoveryRequest,
+        ...                    DiscoveryService, MappingSpec,
+        ...                    parse_value_constraint)
+        >>> db = Database("docs")
+        >>> city = db.create_table("City", [
+        ...     Column("Name", DataType.TEXT),
+        ...     Column("Population", DataType.INT),
+        ... ])
+        >>> city.insert_many([("Springfield", 117_000), ("Shelbyville", 42_000)])
+        2
+        >>> spec = MappingSpec(num_columns=1)
+        >>> _ = spec.add_sample_cells([parse_value_constraint("Springfield")])
+        >>> with DiscoveryService(databases={"docs": db}, num_workers=1) as svc:
+        ...     response = svc.submit(DiscoveryRequest("docs", spec)).result()
+        >>> response.status
+        'ok'
+        >>> response.result.sql()
+        ['SELECT City.Name FROM City']
+    """
 
     def __init__(
         self,
@@ -205,6 +226,7 @@ class DiscoveryService:
         default_scheduler: str = "bayesian",
         default_time_limit: float = DEFAULT_TIME_LIMIT_SECONDS,
         limits: Optional[GenerationLimits] = None,
+        refresh_artifacts: bool = False,
     ):
         """Create a service.
 
@@ -226,6 +248,12 @@ class DiscoveryService:
             default_time_limit: per-round budget (seconds) for requests
                 that do not carry their own.
             limits: candidate-generation bounds applied to every request.
+            refresh_artifacts: resolve bundles through
+                :meth:`ArtifactStore.refresh` instead of
+                :meth:`ArtifactStore.get`, so a database that grew by
+                appends between requests is caught up by folding the
+                delta into its cached bundle rather than preprocessing
+                from scratch (see ``docs/incremental.md``).
         """
         if num_workers < 1:
             raise ServiceError("num_workers must be at least 1")
@@ -248,6 +276,7 @@ class DiscoveryService:
         self._default_scheduler = default_scheduler
         self._default_time_limit = default_time_limit
         self._limits = limits
+        self._refresh_artifacts = refresh_artifacts
         self._workers: list[threading.Thread] = []
         self._started = False
         self._shutdown = False
@@ -547,7 +576,10 @@ class DiscoveryService:
         started = time.monotonic()
         try:
             database = self.database(request.database)
-            bundle = self.store.get(database)
+            if self._refresh_artifacts:
+                bundle = self.store.refresh(database)
+            else:
+                bundle = self.store.get(database)
             engine = Prism.from_artifacts(
                 bundle,
                 scheduler=request.scheduler or self._default_scheduler,

@@ -10,9 +10,21 @@ The default backend is :class:`ColumnStore`, which keeps each table as
 typed column arrays with dictionary encoding for text columns, per-column
 NULL masks, and a cache of join-key hash indexes that the executor reuses
 across queries instead of rebuilding per join.
+
+Because storage is append-only, backends can additionally describe the
+difference between two table states as an append delta
+(:class:`TableMark` / :class:`TableDelta`); the service layer's
+incremental artifact refresh is built on that capability.
 """
 
 from repro.storage.backend import StorageBackend
 from repro.storage.column_store import ColumnStore
+from repro.storage.delta import ColumnDelta, TableDelta, TableMark
 
-__all__ = ["StorageBackend", "ColumnStore"]
+__all__ = [
+    "ColumnDelta",
+    "ColumnStore",
+    "StorageBackend",
+    "TableDelta",
+    "TableMark",
+]

@@ -17,6 +17,8 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Any, Callable, Mapping, Optional, Sequence
 
+from repro.storage.delta import TableDelta, TableMark
+
 __all__ = ["StorageBackend", "CellReader"]
 
 CellReader = Callable[[int], Any]
@@ -162,3 +164,27 @@ class StorageBackend(ABC):
     @abstractmethod
     def version(self, table: str) -> int:
         """Monotonic per-table data version (bumped on every append)."""
+
+    # ------------------------------------------------------------------
+    # Append deltas (optional capability)
+    # ------------------------------------------------------------------
+    def table_mark(self, table: str) -> Optional[TableMark]:
+        """A :class:`TableMark` fingerprint of the table's current state.
+
+        Returns ``None`` when the backend does not support append-delta
+        tracking; callers (the artifact store's incremental refresh) then
+        fall back to full rebuilds.  Backends that do support deltas must
+        capture the mark atomically with respect to writes.
+        """
+        return None
+
+    def delta_since(self, table: str, mark: TableMark) -> Optional[TableDelta]:
+        """The append delta between ``mark`` and the table's current state.
+
+        Returns ``None`` whenever the difference cannot be proven to be
+        pure appends (the mark belongs to a different layout, the version
+        counter does not match the row-count growth, or the backend does
+        not track deltas at all).  The returned delta snapshots its cell
+        values, so it stays valid under further concurrent appends.
+        """
+        return None

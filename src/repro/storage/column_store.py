@@ -22,10 +22,12 @@ from __future__ import annotations
 import threading
 from collections import Counter
 from typing import Any, Callable, Mapping, Optional, Sequence
+from uuid import uuid4
 
 from repro.dataset.types import DataType
 from repro.errors import SchemaError
 from repro.storage.backend import CellReader, StorageBackend
+from repro.storage.delta import NO_DICTIONARY, ColumnDelta, TableDelta, TableMark
 
 __all__ = ["ColumnStore"]
 
@@ -110,7 +112,7 @@ class _TableStore:
     token can never lag behind the data it stamps.
     """
 
-    __slots__ = ("name", "columns", "num_rows", "version",
+    __slots__ = ("name", "columns", "num_rows", "version", "store_token",
                  "_rows_cache", "_join_indexes", "_lock")
 
     def __init__(self, name: str, columns: Sequence[Any]):
@@ -118,6 +120,11 @@ class _TableStore:
         self.columns = [_ColumnData(column.data_type) for column in columns]
         self.num_rows = 0
         self.version = 0
+        # Unique physical identity: a recreated table under the same name
+        # gets a new token, so marks taken from the old store can never be
+        # mistaken for an append history of the new one (version and row
+        # count both restart at 0, so the counters alone cannot tell).
+        self.store_token = uuid4().hex
         self._rows_cache: Optional[list[tuple[Any, ...]]] = None
         self._join_indexes: dict[int, dict[Any, list[int]]] = {}
         self._lock = threading.Lock()
@@ -130,6 +137,7 @@ class _TableStore:
             "columns": self.columns,
             "num_rows": self.num_rows,
             "version": self.version,
+            "store_token": self.store_token,
         }
 
     def __setstate__(self, state: dict) -> None:
@@ -137,6 +145,10 @@ class _TableStore:
         self.columns = state["columns"]
         self.num_rows = state["num_rows"]
         self.version = state["version"]
+        # A store pickled before tokens existed gets a fresh identity:
+        # marks taken from it then mismatch and refresh falls back to a
+        # rebuild, which is the conservative right answer.
+        self.store_token = state.get("store_token") or uuid4().hex
         self._rows_cache = None
         self._join_indexes = {}
         self._lock = threading.Lock()
@@ -212,6 +224,85 @@ class _TableStore:
                 else:
                     bucket.append(row_index)
         return index
+
+    def mark(self) -> TableMark:
+        with self._lock:
+            return self._mark_locked()
+
+    def _mark_locked(self) -> TableMark:
+        # Caller holds self._lock.
+        return TableMark(
+            table=self.name,
+            version=self.version,
+            num_rows=self.num_rows,
+            column_count=len(self.columns),
+            text_dict_lens=tuple(
+                len(column.dictionary) if column.is_text else NO_DICTIONARY
+                for column in self.columns
+            ),
+            store_token=self.store_token,
+        )
+
+    def delta_since(self, mark: TableMark) -> Optional[TableDelta]:
+        with self._lock:
+            if mark.table != self.name:
+                return None
+            if mark.store_token != self.store_token:
+                # The mark belongs to a different physical store — e.g.
+                # the table was dropped and recreated under the same name
+                # (its counters restart, so the arithmetic below would
+                # happily call the replacement rows an "append").
+                return None
+            if mark.column_count != len(self.columns):
+                return None
+            if self.version < mark.version or self.num_rows < mark.num_rows:
+                return None
+            if self.version - mark.version != self.num_rows - mark.num_rows:
+                # Some write other than a row append moved the version;
+                # the difference is not expressible as a delta.
+                return None
+            start, end = mark.num_rows, self.num_rows
+            column_deltas = []
+            for position, (column, marked_len) in enumerate(
+                zip(self.columns, mark.text_dict_lens)
+            ):
+                if column.is_text:
+                    if marked_len == NO_DICTIONARY:
+                        return None  # the mark saw a different encoding
+                    dict_len = len(column.dictionary)
+                    if dict_len < marked_len:
+                        return None  # dictionaries only grow under appends
+                    codes = tuple(column.codes[start:end])
+                    dictionary = column.dictionary
+                    column_deltas.append(ColumnDelta(
+                        position=position,
+                        is_text=True,
+                        values=tuple(
+                            None if code < 0 else dictionary[code]
+                            for code in codes
+                        ),
+                        codes=codes,
+                        dictionary=dictionary,
+                        dict_len=dict_len,
+                        new_dictionary_entries=tuple(
+                            dictionary[marked_len:dict_len]
+                        ),
+                    ))
+                else:
+                    if marked_len != NO_DICTIONARY:
+                        return None
+                    column_deltas.append(ColumnDelta(
+                        position=position,
+                        is_text=False,
+                        values=tuple(column.values[start:end]),
+                    ))
+            return TableDelta(
+                table=self.name,
+                start_row=start,
+                end_row=end,
+                columns=tuple(column_deltas),
+                new_mark=self._mark_locked(),
+            )
 
     def select_rows(
         self, position: int, predicate: Callable[[Any], bool]
@@ -384,3 +475,12 @@ class ColumnStore(StorageBackend):
     # ------------------------------------------------------------------
     def version(self, table: str) -> int:
         return self._store(table).version
+
+    # ------------------------------------------------------------------
+    # Append deltas
+    # ------------------------------------------------------------------
+    def table_mark(self, table: str) -> Optional[TableMark]:
+        return self._store(table).mark()
+
+    def delta_since(self, table: str, mark: TableMark) -> Optional[TableDelta]:
+        return self._store(table).delta_since(mark)

@@ -113,6 +113,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="persist preprocessing artifacts under this directory so "
              "later runs warm-start",
     )
+    serve_parser.add_argument(
+        "--refresh",
+        action="store_true",
+        help="maintain cached artifacts incrementally: databases that "
+             "grew by appends between requests are caught up by folding "
+             "the delta into the cached bundle instead of rebuilding it",
+    )
 
     demo_parser = subparsers.add_parser(
         "demo", help="replay the paper's Lake Tahoe walk-through"
@@ -235,6 +242,7 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
             queue_size=args.queue_size,
             default_scheduler=args.scheduler,
             default_time_limit=args.time_limit,
+            refresh_artifacts=args.refresh,
         )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -267,6 +275,12 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
         f"artifact store: {artifacts['builds']} builds, "
         f"{artifacts['hits']} cache hits, {artifacts['disk_loads']} disk loads"
     )
+    if args.refresh:
+        print(
+            f"incremental refresh: {artifacts['refreshes']} refreshes "
+            f"({artifacts['delta_rows_applied']} delta rows applied), "
+            f"{artifacts['rebuild_fallbacks']} rebuild fallbacks"
+        )
     print(
         f"latency: mean {metrics.latency_mean_seconds:.2f}s, "
         f"p95 {metrics.latency_p95_seconds:.2f}s, "

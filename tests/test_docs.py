@@ -1,0 +1,68 @@
+"""The docs/ guide set stays present, linked and dead-link free.
+
+The CI ``docs`` job runs the same checker standalone
+(``python scripts/check_links.py``); running it here too keeps broken
+links out of tier-1 locally.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOCS_DIR = REPO_ROOT / "docs"
+
+REQUIRED_GUIDES = [
+    "architecture.md",
+    "performance.md",
+    "service.md",
+    "incremental.md",
+]
+
+
+def _load_checker():
+    path = REPO_ROOT / "scripts" / "check_links.py"
+    spec = importlib.util.spec_from_file_location("check_links", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_guide_set_is_complete():
+    for name in REQUIRED_GUIDES:
+        guide = DOCS_DIR / name
+        assert guide.is_file(), f"missing guide: docs/{name}"
+        assert guide.stat().st_size > 500, f"docs/{name} looks like a stub"
+
+
+def test_readme_links_every_guide():
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    for name in REQUIRED_GUIDES:
+        assert f"docs/{name}" in readme, f"README does not link docs/{name}"
+
+
+def test_no_dead_links_in_readme_or_docs():
+    checker = _load_checker()
+    files = checker.default_files(REPO_ROOT)
+    assert len(files) >= 1 + len(REQUIRED_GUIDES)
+    errors = []
+    for path in files:
+        errors.extend(checker.check_file(path))
+    assert errors == []
+
+
+def test_checker_flags_broken_links(tmp_path):
+    checker = _load_checker()
+    page = tmp_path / "page.md"
+    page.write_text(
+        "# Title\n\nsee [missing](nowhere.md) and [bad](#no-such-heading) "
+        "and [ok](#title)\n",
+        encoding="utf-8",
+    )
+    errors = checker.check_file(page)
+    assert len(errors) == 2
+    assert any("nowhere.md" in error for error in errors)
+    assert any("no-such-heading" in error for error in errors)

@@ -21,6 +21,7 @@ _EXAMPLES = [
     "nba_roster.py",
     "custom_database.py",
     "concurrent_service.py",
+    "incremental_updates.py",
 ]
 
 
@@ -45,4 +46,5 @@ def test_examples_directory_contains_the_documented_scripts():
     names = {path.name for path in EXAMPLES_DIR.glob("*.py")}
     assert {"quickstart.py", "mondial_lakes.py", "imdb_actors.py",
             "nba_roster.py", "custom_database.py",
-            "scheduler_comparison.py", "concurrent_service.py"} <= names
+            "scheduler_comparison.py", "concurrent_service.py",
+            "incremental_updates.py"} <= names

@@ -138,6 +138,17 @@ class TestServeBatch:
         assert "[demo-mondial-1] mondial: ok" in output
         assert "latency:" in output
 
+    def test_serve_batch_refresh_reports_counters(self, capsys):
+        exit_code = main(
+            ["serve-batch", "--workers", "2", "--rounds", "1", "--refresh"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        # A static workload never triggers a delta, but the incremental
+        # maintenance counters must be reported (and stay at zero).
+        assert "incremental refresh: 0 refreshes" in output
+        assert "0 rebuild fallbacks" in output
+
     def test_serve_batch_requests_file(self, capsys, tmp_path):
         import json
 
