@@ -61,6 +61,7 @@ class Prism:
         time_limit: float = DEFAULT_TIME_LIMIT_SECONDS,
         limits: Optional[GenerationLimits] = None,
         train_bayesian: bool = True,
+        batch_validation: bool = True,
         *,
         index: Optional[InvertedIndex] = None,
         catalog: Optional[MetadataCatalog] = None,
@@ -85,6 +86,13 @@ class Prism:
             train_bayesian: train the Bayesian models eagerly (required for
                 the ``bayesian`` scheduler; ignored when ``models`` is
                 injected).
+            batch_validation: validate filters sharing one join structure
+                in batched executor passes (see
+                :meth:`~repro.query.executor.Executor.exists_batch`).
+                Discovery results and validation counts are identical
+                either way; disabling it forces the per-candidate
+                execution path (used by benchmarks and differential
+                tests).
             index: prebuilt inverted index for ``database``.
             catalog: prebuilt metadata catalog for ``database``.
             schema_graph: prebuilt schema graph for ``database``.
@@ -102,8 +110,12 @@ class Prism:
         self.schema_graph = (
             schema_graph if schema_graph is not None else SchemaGraph(database)
         )
-        self.executor = Executor(database)
+        # The executor plans with the catalog's cardinalities; its
+        # physical plans are keyed by canonical plan hash and therefore
+        # shared across every candidate joining the same structure.
+        self.executor = Executor(database, catalog=self.catalog)
         self.limits = limits or GenerationLimits()
+        self.batch_validation = batch_validation
         self.models: Optional[BayesianModelSet] = None
         self._estimator: Optional[SelectivityEstimator] = None
         if models is not None:
@@ -221,6 +233,7 @@ class Prism:
             policy,
             estimator=self._estimator,
             deadline=deadline,
+            batch=self.batch_validation,
         )
         executor_before = replace(self.executor.stats)
         scheduling = driver.run()
@@ -245,6 +258,17 @@ class Prism:
         stats.join_index_builds = (
             executor_after.join_index_builds - executor_before.join_index_builds
         )
+        stats.joins_performed = (
+            executor_after.joins_performed - executor_before.joins_performed
+        )
+        stats.plan_cache_hits = (
+            executor_after.plan_cache_hits - executor_before.plan_cache_hits
+        )
+        stats.plan_cache_builds = (
+            executor_after.plan_cache_builds - executor_before.plan_cache_builds
+        )
+        stats.validation_batches = validator.stats.batches
+        stats.batched_outcomes = validator.stats.batched_outcomes
 
         confirmed_ids = set(scheduling.confirmed_candidate_ids)
         confirmed = [

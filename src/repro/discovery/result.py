@@ -34,6 +34,11 @@ class DiscoveryStats:
     exists_cache_misses: int = 0
     join_index_hits: int = 0
     join_index_builds: int = 0
+    joins_performed: int = 0
+    plan_cache_hits: int = 0
+    plan_cache_builds: int = 0
+    validation_batches: int = 0
+    batched_outcomes: int = 0
     elapsed_seconds: float = 0.0
     related_column_seconds: float = 0.0
     candidate_seconds: float = 0.0
@@ -55,6 +60,11 @@ class DiscoveryStats:
             "exists_cache_misses": self.exists_cache_misses,
             "join_index_hits": self.join_index_hits,
             "join_index_builds": self.join_index_builds,
+            "joins_performed": self.joins_performed,
+            "plan_cache_hits": self.plan_cache_hits,
+            "plan_cache_builds": self.plan_cache_builds,
+            "validation_batches": self.validation_batches,
+            "batched_outcomes": self.batched_outcomes,
             "elapsed_seconds": self.elapsed_seconds,
             "timed_out": self.timed_out,
         }

@@ -35,6 +35,8 @@ from repro.constraints.spec import MappingSpec
 from repro.discovery.filters import Filter, FilterSet
 from repro.discovery.validation import FilterValidator
 from repro.errors import DiscoveryError
+from repro.query.plan import join_prefix_key
+from repro.query.planner import Planner
 
 __all__ = [
     "SchedulingPolicy",
@@ -224,7 +226,21 @@ def make_policy(name: str) -> SchedulingPolicy:
 
 
 class ValidationDriver:
-    """Validates filters under a policy until every candidate is decided."""
+    """Validates filters under a policy until every candidate is decided.
+
+    When ``batch`` is enabled (the default), each time the policy picks a
+    filter with at least one join, every other pending filter sharing the
+    chosen filter's join structure (its *join prefix*,
+    :func:`~repro.query.plan.join_prefix_key`) is handed to the validator
+    as a batch-mate: one streamed pass over the shared join decides all
+    of them (:meth:`FilterValidator.validate_batch`), and batch-mates the
+    policy picks later resolve from the validator cache.  Scheduling
+    order, validation counts and discovery results are bit-for-bit
+    identical to the unbatched path — only the executor work is shared.
+    """
+
+    #: Bound on how many filters one batched pass may decide.
+    DEFAULT_BATCH_SIZE = 32
 
     def __init__(
         self,
@@ -233,12 +249,18 @@ class ValidationDriver:
         policy: SchedulingPolicy,
         estimator: Optional[SelectivityEstimator] = None,
         deadline: Optional[float] = None,
+        batch: bool = True,
+        batch_size: Optional[int] = None,
     ):
         self._filter_set = filter_set
         self._validator = validator
         self._policy = policy
         self._estimator = estimator
         self._deadline = deadline
+        self._batch = batch
+        self._batch_size = (
+            batch_size if batch_size is not None else self.DEFAULT_BATCH_SIZE
+        )
 
     def run(self) -> SchedulingResult:
         """Run validation to completion (or until the deadline)."""
@@ -256,6 +278,11 @@ class ValidationDriver:
         }
 
         context = _DriverContext(filter_set, spec, self._estimator, self._validator)
+        # Filters sharing one join structure, grouped once up front —
+        # the candidates for each batched validation pass.
+        prefix_groups = (
+            Planner.group_by_prefix(filter_set.filters) if self._batch else {}
+        )
 
         if num_samples == 0:
             # Metadata-only specs have nothing to validate: every candidate
@@ -298,7 +325,31 @@ class ValidationDriver:
             if not pending:
                 break
             chosen = self._policy.select(pending, context)
-            outcome = self._validator.validate(chosen)
+            if self._batch and chosen.join_size >= 1:
+                # Batch-mates: still-pending filters over the chosen
+                # filter's join structure, except its containment
+                # relatives — if the chosen filter fails its ancestors
+                # fail for free, and if it passes its descendants pass
+                # for free, so computing those eagerly would waste the
+                # very outcomes implication is about to hand us.
+                related = filter_set.ancestors(chosen.id) | filter_set.descendants(
+                    chosen.id
+                )
+                peers = [
+                    filter_
+                    for filter_ in prefix_groups.get(
+                        join_prefix_key(chosen.query), ()
+                    )
+                    if filter_.id != chosen.id
+                    and filter_.id not in related
+                    and filter_state[filter_.id] is None
+                    and filter_.candidate_ids & remaining
+                ]
+                outcome = self._validator.validate_batch(
+                    chosen, peers[: self._batch_size - 1]
+                )
+            else:
+                outcome = self._validator.validate(chosen)
             filter_state[chosen.id] = outcome
             # Count scheduling decisions, not executor work: the oracle's
             # free peeks and validator cache hits must not distort the

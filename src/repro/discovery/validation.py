@@ -5,16 +5,29 @@ row satisfying the sample constraint's cells at the filter's positions.
 The validator builds cell predicates from the constraints, pushes them into
 the executor (which applies them before joining and stops at the first
 match) and caches outcomes so a filter is never executed twice.
+
+Validation can be **batched across candidates**: filters whose sub-queries
+share one join structure (same tables, same edges —
+:func:`~repro.query.plan.join_prefix_key`) are decided together by
+:meth:`~repro.query.executor.Executor.exists_batch`, which streams the
+shared join once and tests every filter's pushed-down row selections
+against each assignment.  Outcomes are bit-for-bit identical to the
+per-candidate path; only the join work is shared.  The scheduling layer
+(:class:`~repro.discovery.scheduler.ValidationDriver`) still chooses and
+counts filters one at a time, so validation counts are unaffected —
+batch-mates decided early simply become validator cache hits when the
+policy later picks them.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.constraints.spec import MappingSpec
 from repro.discovery.filters import Filter
-from repro.query.executor import Executor
+from repro.query.executor import BatchProbe, Executor
+from repro.query.plan import join_prefix_key
 
 __all__ = ["FilterValidator", "ValidationStats"]
 
@@ -27,6 +40,10 @@ class ValidationStats:
     cache_hits: int = 0
     passed: int = 0
     failed: int = 0
+    #: Batched executor passes issued (each decided >= 2 filters at once).
+    batches: int = 0
+    #: Outcomes computed for batch-mates beyond the requested filter.
+    batched_outcomes: int = 0
 
     def record(self, outcome: bool) -> None:
         """Record one (uncached) validation outcome."""
@@ -87,6 +104,72 @@ class FilterValidator:
         self._cache[key] = outcome
         self.stats.record(outcome)
         return outcome
+
+    def validate_batch(
+        self, filter_: Filter, peers: Sequence[Filter] = ()
+    ) -> bool:
+        """Validate ``filter_``, deciding same-structure peers on the side.
+
+        ``peers`` are other filters the caller expects to need soon
+        (typically every pending filter sharing ``filter_``'s join
+        prefix).  Peers whose sub-query does not actually share the join
+        structure, or whose outcome is already cached, are skipped.  All
+        computed outcomes — the requested filter's and every batched
+        peer's — land in the validator cache and the executor memo, so a
+        later :meth:`validate` of a peer is a cache hit.
+
+        Only the requested filter is recorded in
+        :attr:`ValidationStats.validations`; peers are counted under
+        :attr:`ValidationStats.batched_outcomes`.
+        """
+        key = self._cache_key(filter_)
+        if key in self._cache:
+            self.stats.cache_hits += 1
+            return self._cache[key]
+        prefix = join_prefix_key(filter_.query)
+        batch = [filter_]
+        seen = {key}
+        for peer in peers:
+            peer_key = self._cache_key(peer)
+            if peer_key in seen or peer_key in self._cache:
+                continue
+            if join_prefix_key(peer.query) != prefix:
+                continue
+            seen.add(peer_key)
+            batch.append(peer)
+        if len(batch) == 1:
+            outcome = self._execute(filter_)
+            self._cache[key] = outcome
+            self.stats.record(outcome)
+            return outcome
+        probes = []
+        for member in batch:
+            sample = self._spec.samples[member.sample_index]
+            predicates: dict[int, callable] = {}
+            tags: dict[int, object] = {}
+            for projection_index, position in enumerate(member.positions):
+                constraint = sample.cell(position)
+                if constraint is not None:
+                    predicates[projection_index] = constraint.matches
+                    # Tagging by the (hashable, content-compared)
+                    # constraint lets the executor scan each column once
+                    # per distinct constraint across the whole batch.
+                    tags[projection_index] = constraint
+            probes.append(
+                BatchProbe(
+                    query=member.query,
+                    cell_predicates=predicates,
+                    cache_key=self._memo_key(member),
+                    predicate_tags=tags,
+                )
+            )
+        outcomes = self._executor.exists_batch(probes)
+        self.stats.batches += 1
+        self.stats.batched_outcomes += len(batch) - 1
+        for member, outcome in zip(batch, outcomes):
+            self._cache[self._cache_key(member)] = outcome
+        self.stats.record(outcomes[0])
+        return outcomes[0]
 
     def peek(self, filter_: Filter) -> bool:
         """Validate without counting (used by the optimal oracle)."""

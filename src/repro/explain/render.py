@@ -1,4 +1,4 @@
-"""Renderers for query-explanation graphs.
+"""Renderers for query-explanation graphs and optimized logical plans.
 
 The demo draws the graph in a browser canvas; here we provide equivalent
 artefacts that work in a terminal and in downstream tooling:
@@ -7,12 +7,17 @@ artefacts that work in a terminal and in downstream tooling:
   ellipses for attributes, blue boxes for constraints, exactly as the
   paper describes Figure 4c);
 * :func:`to_ascii` — a plain-text rendering for CLIs and logs;
-* :func:`to_dict` — a JSON-serialisable structure for web frontends.
+* :func:`to_dict` — a JSON-serialisable structure for web frontends;
+* :func:`plan_to_ascii` — the optimized logical plan of a query
+  (``prism explain --plan``), annotated with the planner's estimated
+  cardinalities and with which sub-structures are shared by other
+  candidates of the same discovery round.
 """
 
 from __future__ import annotations
 
 import json
+from typing import Iterable, Mapping, Optional
 
 from repro.explain.graph import (
     NODE_ATTRIBUTE,
@@ -20,9 +25,24 @@ from repro.explain.graph import (
     NODE_RELATION,
     QueryGraph,
 )
+from repro.query.plan import (
+    Filter as PlanFilter,
+    Join as PlanJoin,
+    PlanNode,
+    Scan as PlanScan,
+    edge_key,
+)
 from repro.query.sql import to_sql
 
-__all__ = ["to_dot", "to_ascii", "to_dict", "to_json"]
+__all__ = [
+    "to_dot",
+    "to_ascii",
+    "to_dict",
+    "to_json",
+    "plan_to_ascii",
+    "structure_key",
+    "shared_structure_counts",
+]
 
 _DOT_STYLES = {
     NODE_RELATION: 'shape=box, style=filled, fillcolor="orange"',
@@ -117,3 +137,89 @@ def to_dict(query_graph: QueryGraph) -> dict:
 def to_json(query_graph: QueryGraph, indent: int = 2) -> str:
     """Render the explanation graph as a JSON string."""
     return json.dumps(to_dict(query_graph), indent=indent)
+
+
+# ----------------------------------------------------------------------
+# Logical-plan rendering (``prism explain --plan``)
+# ----------------------------------------------------------------------
+def structure_key(node: PlanNode) -> Optional[tuple]:
+    """Join-structure identity of a plan node, ignoring predicates.
+
+    ``Scan`` and ``Filter``-over-scan nodes key on their table; ``Join``
+    subtrees key on their edge set over their table set (the same
+    identity batched validation groups by).  Wrapper nodes
+    (Project/Exists) return ``None`` — they are never shared.
+    """
+    if isinstance(node, PlanScan):
+        return ("scan", node.table)
+    if isinstance(node, PlanFilter):
+        return structure_key(node.child)
+    if isinstance(node, PlanJoin):
+        return (
+            "join",
+            tuple(sorted(edge_key(edge) for edge in node.edges())),
+            tuple(sorted(node.tables)),
+        )
+    return None
+
+
+def shared_structure_counts(plans: Iterable[PlanNode]) -> dict[tuple, int]:
+    """How many of ``plans`` contain each join sub-structure.
+
+    Feed every candidate's optimized plan in.  A count above one means
+    the sub-structure occurs in several candidates' plans.  Physical
+    plans are cached — and validation batched — at *whole-query*
+    join-structure granularity, so for a candidate's top-level join
+    node the count is exactly the number of candidates sharing its
+    cached plan and batch passes; for strict sub-structures it reports
+    structural overlap only (the seam a future sub-plan memo would
+    exploit).
+    """
+    counts: dict[tuple, int] = {}
+    for plan in plans:
+        seen: set[tuple] = set()
+        for node in plan.walk():
+            key = structure_key(node)
+            if key is not None and key not in seen:
+                seen.add(key)
+                counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def plan_to_ascii(
+    plan: PlanNode,
+    planner=None,
+    shared: Optional[Mapping[tuple, int]] = None,
+) -> str:
+    """Pretty-print an optimized logical plan as an indented tree.
+
+    Args:
+        plan: the optimized plan (from
+            :meth:`~repro.query.executor.Executor.logical_plan`).
+        planner: when given, each node is annotated with the planner's
+            estimated output cardinality (``~N rows``).
+        shared: counts from :func:`shared_structure_counts`; nodes whose
+            join structure occurs in more than one candidate are
+            annotated ``structure in K candidates`` (for the plan's
+            top-level join this is exactly the plan-cache / batched-
+            validation sharing; for sub-structures it is structural
+            overlap).
+    """
+    lines: list[str] = []
+
+    def render(node: PlanNode, depth: int) -> None:
+        annotations: list[str] = []
+        if planner is not None:
+            annotations.append(f"~{planner.estimated_rows(node):.3g} rows")
+        if shared is not None:
+            key = structure_key(node)
+            count = shared.get(key, 0) if key is not None else 0
+            if count > 1:
+                annotations.append(f"structure in {count} candidates")
+        suffix = f"  ({'; '.join(annotations)})" if annotations else ""
+        lines.append("  " * depth + str(node) + suffix)
+        for child in node.children():
+            render(child, depth + 1)
+
+    render(plan, 0)
+    return "\n".join(lines)

@@ -1,14 +1,26 @@
-"""Vectorized hash-join execution of Project-Join queries.
+"""Physical execution of logical plans with cached, vectorized hash joins.
 
-The executor evaluates PJ queries against an in-memory :class:`Database`
-whose tables live in a columnar storage backend.  The execution model is
-column- and index-oriented:
+The executor is the third stage of the query pipeline
+
+    ``ProjectJoinQuery`` → logical plan IR → cost-based planner → executor
+
+and evaluates plans against an in-memory :class:`Database` whose tables
+live in a columnar storage backend.  The execution model is column- and
+index-oriented:
 
 * **predicate pushdown over column arrays** — per-projection cell
   predicates (derived from the user's value constraints) are evaluated
   directly against base-table columns, producing row-index selections;
   dictionary-encoded text columns evaluate each predicate once per
   distinct value instead of once per row;
+* **cost-based physical plans shared across candidates** — the join
+  order comes from the :class:`~repro.query.planner.Planner` (catalog
+  cardinalities when available) and the lowered probe/filter steps are
+  cached under the structure's *canonical plan hash*
+  (:func:`~repro.query.plan.join_prefix_key`), so every candidate —
+  and every filter of every candidate — joining the same tables over
+  the same edges reuses one physical plan regardless of what it
+  projects;
 * **reusable join indexes** — the value → row-indexes hash index for a
   join key column is built once per (table, column) and cached on the
   storage backend, so the thousands of existence probes issued during
@@ -18,6 +30,12 @@ column- and index-oriented:
   produced as a stream of per-table row-index assignments, so an optional
   ``limit`` (and in particular ``exists()``'s ``limit=1``) stops work at
   the first match instead of materializing the full join;
+* **batched existence probes** — :meth:`Executor.exists_batch` decides
+  many (query, predicates) probes sharing one join structure in a single
+  pass over the shared join: per-probe pushdown runs exactly as in the
+  per-candidate path, then one assignment stream (over the union of the
+  surviving probes' selections) is tested against every still-undecided
+  probe, terminating as soon as all are decided;
 * **an existence-memo cache** — ``exists()`` outcomes can be memoized
   under a caller-supplied canonical (query, predicate) signature and are
   invalidated automatically when the database changes.
@@ -32,11 +50,18 @@ from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Mapping, Optional, Sequence
 
 from repro.dataset.database import Database
-from repro.dataset.schema import ForeignKey
 from repro.errors import QueryError
 from repro.query.pj_query import ProjectJoinQuery
+from repro.query.plan import (
+    PlanNode,
+    PredicateSpec,
+    _connected_edge_order,
+    attach_predicates,
+    join_prefix_key,
+)
+from repro.query.planner import Planner
 
-__all__ = ["Executor", "ExecutionStats"]
+__all__ = ["Executor", "ExecutionStats", "BatchProbe"]
 
 CellPredicate = Callable[[Any], bool]
 
@@ -61,6 +86,10 @@ class ExecutionStats:
     join_index_builds: int = 0
     exists_cache_hits: int = 0
     exists_cache_misses: int = 0
+    plan_cache_hits: int = 0
+    plan_cache_builds: int = 0
+    batch_executions: int = 0
+    batched_probes: int = 0
 
     def merge(self, other: "ExecutionStats") -> None:
         """Accumulate another stats object into this one."""
@@ -72,6 +101,32 @@ class ExecutionStats:
         self.join_index_builds += other.join_index_builds
         self.exists_cache_hits += other.exists_cache_hits
         self.exists_cache_misses += other.exists_cache_misses
+        self.plan_cache_hits += other.plan_cache_hits
+        self.plan_cache_builds += other.plan_cache_builds
+        self.batch_executions += other.batch_executions
+        self.batched_probes += other.batched_probes
+
+
+@dataclass(frozen=True)
+class BatchProbe:
+    """One existence probe inside an :meth:`Executor.exists_batch` call.
+
+    All probes of a batch must share one join structure (same tables,
+    same edges — :func:`~repro.query.plan.join_prefix_key`); projections
+    and predicates are free to differ.
+
+    ``predicate_tags`` optionally names each predicate's *content* with a
+    hashable token (the validation layer passes the constraint object
+    itself).  Probes of one batch that tag a column's predicate
+    identically share a single pushdown scan of that column — the common
+    case when filters derived from the same sample constraint are
+    batched across candidates.
+    """
+
+    query: ProjectJoinQuery
+    cell_predicates: Optional[Mapping[int, CellPredicate]] = None
+    cache_key: Optional[Any] = None
+    predicate_tags: Optional[Mapping[int, Any]] = None
 
 
 @dataclass(frozen=True)
@@ -97,7 +152,7 @@ class _FilterStep:
 
 @dataclass(frozen=True)
 class _JoinPlan:
-    """A query's join strategy (depends only on its structure, not data)."""
+    """A structure's physical join strategy (no per-request state)."""
 
     start_table: str
     steps: tuple[Any, ...]  # _ProbeStep | _FilterStep
@@ -131,11 +186,23 @@ class _ResolvedFilter:
 
 
 class Executor:
-    """Evaluates Project-Join queries with cached, vectorized hash joins."""
+    """Evaluates Project-Join queries by lowering optimized logical plans."""
 
-    def __init__(self, database: Database):
+    def __init__(self, database: Database, catalog: Optional[object] = None):
+        """Create an executor.
+
+        Args:
+            database: the database to evaluate queries against.
+            catalog: optional :class:`~repro.dataset.catalog.MetadataCatalog`
+                handed to the planner for cardinality-based join
+                ordering; without one the planner uses live row counts.
+        """
         self._database = database
+        self.planner = Planner(database, catalog)
         self.stats = ExecutionStats()
+        # Physical plans keyed by canonical join-structure hash, so
+        # every query over the same structure — across candidates and
+        # across differing projections — shares one lowered plan.
         self._plan_cache: dict[tuple, _JoinPlan] = {}
         self._plan_schema_version: Optional[int] = None
         self._exists_memo: dict[Any, bool] = {}
@@ -175,7 +242,7 @@ class Executor:
         ]
 
         results: list[tuple[Any, ...]] = []
-        for assignment in self._assignments(query, selections, plan):
+        for assignment in self._assignments(selections, plan):
             results.append(
                 tuple(reader(assignment[table]) for reader, table in projectors)
             )
@@ -210,10 +277,90 @@ class Executor:
             return cached
         self.stats.exists_cache_misses += 1
         outcome = bool(self.execute(query, cell_predicates=cell_predicates, limit=1))
-        if len(memo) >= MAX_EXISTS_MEMO_ENTRIES:
-            del memo[next(iter(memo))]
-        memo[cache_key] = outcome
+        self._memoize(memo, cache_key, outcome)
         return outcome
+
+    def exists_batch(self, probes: Sequence[BatchProbe]) -> list[bool]:
+        """Decide many existence probes over one shared join structure.
+
+        Per-probe predicate pushdown runs exactly as in :meth:`exists`
+        (so probes emptied by pushdown never touch the join), then one
+        recursive pass over the shared join decides every surviving
+        probe at once: the walk carries a bitmask of the probes whose
+        pushed-down selections are consistent with the partial
+        assignment, prunes branches no undecided probe selects, and
+        satisfies a probe the moment a full assignment consistent with
+        it appears.  Because all cell predicates bind to base-table
+        columns, selection-mask consistency is exactly predicate
+        satisfaction.  The pass stops as soon as every probe is decided.
+
+        Outcomes equal per-probe :meth:`exists` calls bit for bit, but
+        the join work (index lookups, probe steps, streaming) is paid
+        once per batch instead of once per probe.  Memoization under each
+        probe's ``cache_key`` behaves exactly as in :meth:`exists`.
+
+        Raises:
+            QueryError: the probes do not share one join structure.
+        """
+        if not probes:
+            return []
+        structure = join_prefix_key(probes[0].query)
+        for probe in probes[1:]:
+            if join_prefix_key(probe.query) != structure:
+                raise QueryError(
+                    "exists_batch requires probes sharing one join structure"
+                )
+        memo = self._current_memo()
+        outcomes: list[Optional[bool]] = [None] * len(probes)
+        pending: list[int] = []
+        for index, probe in enumerate(probes):
+            if probe.cache_key is not None:
+                cached = memo.get(probe.cache_key)
+                if cached is not None:
+                    self.stats.exists_cache_hits += 1
+                    outcomes[index] = cached
+                    continue
+                self.stats.exists_cache_misses += 1
+            pending.append(index)
+
+        plan: Optional[_JoinPlan] = None
+        pushdown_cache: dict[tuple, frozenset[int]] = {}
+        survivors: list[tuple[int, dict[str, frozenset[int]]]] = []
+        for index in pending:
+            probe = probes[index]
+            query = probe.query
+            query.validate(self._database)
+            self.stats.queries_executed += 1
+            predicates = dict(probe.cell_predicates or {})
+            for position in predicates:
+                if position < 0 or position >= query.width:
+                    raise QueryError(
+                        f"cell predicate position {position} out of range "
+                        f"for a query of width {query.width}"
+                    )
+            constrained = self._pushdown_shared(
+                query, predicates, probe.predicate_tags, pushdown_cache
+            )
+            if constrained is None:
+                outcomes[index] = False
+                continue
+            if plan is None:
+                plan = self._plan(query)
+            survivors.append((index, constrained))
+
+        if survivors:
+            assert plan is not None
+            self.stats.batch_executions += 1
+            self.stats.batched_probes += len(survivors)
+            satisfied = self._run_batch(plan, [sets for __, sets in survivors])
+            for bit, (index, __) in enumerate(survivors):
+                outcomes[index] = bool(satisfied & (1 << bit))
+
+        for index in pending:
+            key = probes[index].cache_key
+            if key is not None:
+                self._memoize(memo, key, bool(outcomes[index]))
+        return [bool(outcome) for outcome in outcomes]
 
     def count(
         self,
@@ -225,7 +372,28 @@ class Executor:
         if prepared is None:
             return 0
         selections, plan = prepared
-        return sum(1 for _ in self._assignments(query, selections, plan))
+        return sum(1 for _ in self._assignments(selections, plan))
+
+    def logical_plan(
+        self,
+        query: ProjectJoinQuery,
+        predicates: Optional[Sequence[PredicateSpec]] = None,
+        exists: bool = False,
+    ) -> PlanNode:
+        """The optimized logical plan this executor runs for ``query``.
+
+        The join order matches the lowered physical plan exactly:
+        physical plans are cached per join structure, so ordering never
+        depends on a request's predicates.  The given predicate specs
+        are overlaid onto their scans afterwards
+        (:func:`~repro.query.plan.attach_predicates`) purely for
+        display and cardinality annotation — used by the explain
+        tooling (``prism explain --plan``).
+        """
+        plan = self.planner.plan_query(query, exists=exists)
+        if predicates:
+            plan = attach_predicates(plan, tuple(predicates))
+        return plan
 
     # ------------------------------------------------------------------
     # Preparation: validation, pushdown, planning
@@ -298,99 +466,138 @@ class Executor:
             selections[table_name] = selected
         return selections
 
-    def _plan(self, query: ProjectJoinQuery) -> _JoinPlan:
-        """Resolve the join order into concrete probe/filter steps.
+    def _pushdown_shared(
+        self,
+        query: ProjectJoinQuery,
+        predicates: Mapping[int, CellPredicate],
+        tags: Optional[Mapping[int, Any]],
+        cache: dict[tuple, frozenset[int]],
+    ) -> Optional[dict[str, frozenset[int]]]:
+        """Pushdown for one batch probe, sharing column scans via ``cache``.
 
-        Plans depend only on query structure and the schema's column
-        layout, so they are cached by the query's canonical signature and
-        discarded whenever the database schema changes (a table dropped
-        and recreated under the same name may place columns differently).
+        Semantics match :meth:`_pushdown` exactly (NULL cells never
+        match; a table with several predicates keeps only rows passing
+        all of them; an empty selection — or an empty unconstrained
+        table — proves the probe false).  The difference is the shape
+        (per-table row *sets*, constrained tables only) and the cache:
+        a column scan tagged with the same predicate content by several
+        probes of the batch runs once.
+        """
+        tags = tags or {}
+        per_table: dict[str, list[tuple[str, CellPredicate, Any]]] = defaultdict(list)
+        for position, predicate in predicates.items():
+            ref = query.projections[position]
+            per_table[ref.table].append(
+                (ref.column, predicate, tags.get(position))
+            )
+        constrained: dict[str, frozenset[int]] = {}
+        for table_name in query.tables:
+            table = self._database.table(table_name)
+            self.stats.rows_scanned += table.num_rows
+            checks = per_table.get(table_name)
+            if not checks:
+                if table.num_rows == 0:
+                    return None
+                continue
+            combined: Optional[frozenset[int]] = None
+            for column_name, predicate, tag in checks:
+                key = (
+                    (table_name, column_name, tag) if tag is not None else None
+                )
+                selection = cache.get(key) if key is not None else None
+                if selection is None:
+                    selection = frozenset(
+                        table.select_rows(column_name, predicate)
+                    )
+                    if key is not None:
+                        cache[key] = selection
+                combined = (
+                    selection if combined is None else combined & selection
+                )
+                if not combined:
+                    return None
+            constrained[table_name] = combined
+        return constrained
+
+    def _plan(self, query: ProjectJoinQuery) -> _JoinPlan:
+        """Lower the optimized join order into concrete probe/filter steps.
+
+        Physical plans depend only on join structure (plus the schema's
+        column layout), so they are cached under the structure's
+        canonical plan hash — shared across every candidate and filter
+        on that structure — and discarded whenever the database schema
+        changes (a table dropped and recreated under the same name may
+        place columns differently).
         """
         schema_version = self._database.schema_version
         if schema_version != self._plan_schema_version:
             self._plan_cache.clear()
             self._plan_schema_version = schema_version
-        signature = query.signature()
-        plan = self._plan_cache.get(signature)
+        structure = join_prefix_key(query)
+        plan = self._plan_cache.get(structure)
         if plan is not None:
+            self.stats.plan_cache_hits += 1
             return plan
+        self.stats.plan_cache_builds += 1
 
-        join_order = self._join_order(query)
-        if not join_order:
-            plan = _JoinPlan(next(iter(query.tables)), ())
-        else:
-            start_table = join_order[0].tables()[0]
-            joined = {start_table}
-            steps: list[Any] = []
-            for edge in join_order:
-                left, right = edge.tables()
-                if left in joined and right in joined:
-                    # Both sides already joined (cannot happen for trees,
-                    # but be defensive): apply the edge as a post-filter.
-                    steps.append(
-                        _FilterStep(
-                            edge.child_table,
-                            self._column_position(edge.child_table, edge.child_column),
-                            edge.parent_table,
-                            self._column_position(edge.parent_table, edge.parent_column),
-                        )
-                    )
-                    continue
-                if left in joined:
-                    existing_table, new_table = left, right
-                elif right in joined:
-                    existing_table, new_table = right, left
-                else:
-                    # Neither endpoint joined yet — cannot happen when
-                    # _join_order succeeded; guard anyway.
-                    raise QueryError("disconnected join order")
-                existing_column, new_column = self._edge_columns(
-                    edge, existing_table, new_table
-                )
+        order = self.planner.join_order(query)
+        joined = {order.start_table}
+        steps: list[Any] = []
+        for edge in order.edges:
+            left, right = edge.tables()
+            if left in joined and right in joined:
+                # Both sides already joined (cannot happen for trees,
+                # but be defensive): apply the edge as a post-filter.
                 steps.append(
-                    _ProbeStep(
-                        existing_table,
-                        self._column_position(existing_table, existing_column),
-                        new_table,
-                        self._column_position(new_table, new_column),
+                    _FilterStep(
+                        edge.child_table,
+                        self._column_position(edge.child_table, edge.child_column),
+                        edge.parent_table,
+                        self._column_position(edge.parent_table, edge.parent_column),
                     )
                 )
-                joined.add(new_table)
-            plan = _JoinPlan(start_table, tuple(steps))
+                continue
+            if left in joined:
+                existing_table, new_table = left, right
+            elif right in joined:
+                existing_table, new_table = right, left
+            else:
+                # Neither endpoint joined yet — cannot happen when the
+                # planner produced a connected order; guard anyway.
+                raise QueryError("disconnected join order")
+            existing_column, new_column = self._edge_columns(
+                edge, existing_table, new_table
+            )
+            steps.append(
+                _ProbeStep(
+                    existing_table,
+                    self._column_position(existing_table, existing_column),
+                    new_table,
+                    self._column_position(new_table, new_column),
+                )
+            )
+            joined.add(new_table)
+        plan = _JoinPlan(order.start_table, tuple(steps))
         if len(self._plan_cache) >= MAX_PLAN_CACHE_ENTRIES:
             del self._plan_cache[next(iter(self._plan_cache))]
-        self._plan_cache[signature] = plan
+        self._plan_cache[structure] = plan
         return plan
 
     def _column_position(self, table: str, column: str) -> int:
         return self._database.table(table).column_position(column)
 
-    def _join_order(self, query: ProjectJoinQuery) -> list[ForeignKey]:
-        """Order join edges so each edge touches an already-joined table."""
+    def _join_order(self, query: ProjectJoinQuery):
+        """Structural edge ordering (connectivity check, no statistics).
+
+        Retained as the reference ordering: the cost-based planner may
+        emit any permutation, but both must reject disconnected edges.
+        """
         if not query.joins:
             return []
-        remaining = list(query.joins)
-        ordered: list[ForeignKey] = []
-        joined_tables = {query.projections[0].table}
-        # The projection table might not be an endpoint of the first edge in
-        # pathological orders; seed from any edge if necessary.
-        if not any(table in joined_tables for edge in remaining for table in edge.tables()):
-            joined_tables = {remaining[0].tables()[0]}
-        while remaining:
-            progressed = False
-            for edge in list(remaining):
-                left, right = edge.tables()
-                if left in joined_tables or right in joined_tables:
-                    ordered.append(edge)
-                    joined_tables.update((left, right))
-                    remaining.remove(edge)
-                    progressed = True
-            if not progressed:
-                raise QueryError("join edges do not form a connected tree")
-        return ordered
+        return _connected_edge_order(query)
 
     def _edge_columns(
-        self, edge: ForeignKey, existing_table: str, new_table: str
+        self, edge, existing_table: str, new_table: str
     ) -> tuple[str, str]:
         if edge.child_table == existing_table and edge.parent_table == new_table:
             return edge.child_column, edge.parent_column
@@ -414,7 +621,6 @@ class Executor:
 
     def _assignments(
         self,
-        query: ProjectJoinQuery,
         selections: dict[str, _Selection],
         plan: _JoinPlan,
     ) -> Iterator[dict[str, int]]:
@@ -515,6 +721,167 @@ class Executor:
             yield from extend(0)
 
     # ------------------------------------------------------------------
+    # Batched join evaluation
+    # ------------------------------------------------------------------
+    def _run_batch(
+        self, plan: _JoinPlan, probe_selections: Sequence[dict[str, set[int]]]
+    ) -> int:
+        """Decide many probes in one recursive pass over a shared join.
+
+        ``probe_selections[i]`` maps each table probe ``i`` constrains to
+        its pushed-down row set.  The pass walks the physical plan once,
+        carrying a bitmask of the probes consistent with the partial
+        assignment so far: assigning table ``T`` row ``r`` ANDs in the
+        mask of probes that selected ``r`` (or don't constrain ``T``).
+        Branches no *undecided* probe is consistent with are pruned —
+        the per-probe selection pruning of the single-probe path, paid
+        once for the whole batch — and probes reaching a full assignment
+        are satisfied.  Returns the bitmask of satisfied probes.
+        """
+        full_mask = (1 << len(probe_selections)) - 1
+        # Per constrained table: a lazily filled row → mask cache, the
+        # (bit, row set) list of probes constraining it, and the mask of
+        # probes that don't.  Masks are computed only for rows the join
+        # actually reaches, so sparse streams never pay for the full
+        # selections.
+        masks: dict[str, tuple[dict[int, int], list[tuple[int, frozenset[int]]], int]] = {}
+        tables = {plan.start_table}
+        for step in plan.steps:
+            if isinstance(step, _ProbeStep):
+                tables.add(step.new_table)
+        for table in tables:
+            members: list[tuple[int, frozenset[int]]] = []
+            constrained_bits = 0
+            for bit, sets in enumerate(probe_selections):
+                selection = sets.get(table)
+                if selection is None:
+                    continue
+                constrained_bits |= 1 << bit
+                members.append((1 << bit, selection))
+            if constrained_bits:
+                masks[table] = ({}, members, full_mask & ~constrained_bits)
+
+        def mask_of(table: str, row_index: int, current: int) -> int:
+            entry = masks.get(table)
+            if entry is None:
+                return current
+            row_cache, members, unconstrained = entry
+            mask = row_cache.get(row_index)
+            if mask is None:
+                mask = unconstrained
+                for bit, rows in members:
+                    if row_index in rows:
+                        mask |= bit
+                row_cache[row_index] = mask
+            return current & mask
+
+        start = plan.start_table
+        start_entry = masks.get(start)
+        if start_entry is not None and not start_entry[2]:
+            # Every probe constrains the start table: only union rows
+            # can matter, so iterate exactly those.
+            union: set[int] = set()
+            for __, rows in start_entry[1]:
+                union.update(rows)
+            start_rows: Sequence[int] = sorted(union)
+        else:
+            start_rows = range(self._database.table(start).num_rows)
+
+        resolved: list[Any] = []
+        for step in plan.steps:
+            if isinstance(step, _ProbeStep):
+                resolved.append(
+                    _ResolvedProbe(
+                        step.existing_table,
+                        self._database.table(step.existing_table).backend.cell_reader(
+                            step.existing_table, step.existing_position
+                        ),
+                        step.new_table,
+                        self._join_index(step.new_table, step.new_position),
+                        None,
+                    )
+                )
+                self.stats.joins_performed += 1
+            else:
+                resolved.append(
+                    _ResolvedFilter(
+                        step.child_table,
+                        self._database.table(step.child_table).backend.cell_reader(
+                            step.child_table, step.child_position
+                        ),
+                        step.parent_table,
+                        self._database.table(step.parent_table).backend.cell_reader(
+                            step.parent_table, step.parent_position
+                        ),
+                    )
+                )
+
+        state = {"satisfied": 0, "undecided": full_mask}
+        assignment: dict[str, int] = {}
+        last_depth = len(resolved) - 1
+
+        def settle(mask: int) -> None:
+            newly = mask & state["undecided"]
+            state["satisfied"] |= newly
+            state["undecided"] &= ~newly
+
+        def extend(depth: int, mask: int) -> None:
+            step = resolved[depth]
+            if isinstance(step, _ResolvedProbe):
+                key = step.existing_reader(assignment[step.existing_table])
+                if key is None:
+                    return
+                rows = step.index.get(key)
+                if not rows:
+                    return
+                new_table = step.new_table
+                undecided = state["undecided"]
+                if depth == last_depth:
+                    for row_index in rows:
+                        narrowed = mask_of(new_table, row_index, mask)
+                        if not narrowed & undecided:
+                            continue
+                        settle(narrowed)
+                        undecided = state["undecided"]
+                        if not undecided:
+                            return
+                else:
+                    for row_index in rows:
+                        narrowed = mask_of(new_table, row_index, mask)
+                        if not narrowed & state["undecided"]:
+                            continue
+                        assignment[new_table] = row_index
+                        extend(depth + 1, narrowed)
+                        if not state["undecided"]:
+                            return
+            else:
+                child_value = step.child_reader(assignment[step.child_table])
+                parent_value = step.parent_reader(assignment[step.parent_table])
+                if (
+                    child_value is not None
+                    and parent_value is not None
+                    and child_value == parent_value
+                ):
+                    if depth == last_depth:
+                        settle(mask)
+                    else:
+                        extend(depth + 1, mask)
+
+        for row_index in start_rows:
+            mask = mask_of(start, row_index, full_mask)
+            if not mask & state["undecided"]:
+                continue
+            if not resolved:
+                settle(mask)
+            else:
+                assignment.clear()
+                assignment[start] = row_index
+                extend(0, mask)
+            if not state["undecided"]:
+                break
+        return state["satisfied"]
+
+    # ------------------------------------------------------------------
     # Existence-memo cache
     # ------------------------------------------------------------------
     def _current_memo(self) -> dict[Any, bool]:
@@ -525,7 +892,17 @@ class Executor:
             self._memo_data_version = version
         return self._exists_memo
 
+    def _memoize(self, memo: dict[Any, bool], key: Any, outcome: bool) -> None:
+        if len(memo) >= MAX_EXISTS_MEMO_ENTRIES:
+            del memo[next(iter(memo))]
+        memo[key] = outcome
+
     @property
     def exists_memo_size(self) -> int:
         """Number of memoized existence outcomes currently held."""
         return len(self._exists_memo)
+
+    @property
+    def plan_cache_size(self) -> int:
+        """Number of lowered physical plans currently cached."""
+        return len(self._plan_cache)

@@ -42,11 +42,20 @@ class ProjectJoinQuery:
     # ------------------------------------------------------------------
     @property
     def tables(self) -> frozenset[str]:
-        """All tables referenced by projections or joins."""
-        tables = {ref.table for ref in self.projections}
-        for edge in self.joins:
-            tables.update(edge.tables())
-        return frozenset(tables)
+        """All tables referenced by projections or joins.
+
+        Computed once and cached on the (immutable) query: the planner,
+        the prefix-grouping driver and validation all ask for this
+        repeatedly on hot paths.
+        """
+        cached = self.__dict__.get("_tables")
+        if cached is None:
+            tables = {ref.table for ref in self.projections}
+            for edge in self.joins:
+                tables.update(edge.tables())
+            cached = frozenset(tables)
+            object.__setattr__(self, "_tables", cached)
+        return cached
 
     @property
     def join_size(self) -> int:

@@ -1,0 +1,125 @@
+"""Naive reference evaluation of Project-Join queries.
+
+This is the retained straight-line semantics of PJ evaluation: nested-loop
+joins over row tuples, no planner, no pushdown, no indexes, no caches.  It
+exists purely as the differential-testing oracle for the planner/executor
+pipeline — the property suite runs randomized databases and candidate sets
+through both paths and asserts bit-for-bit identical results.  Never use
+it on a hot path.
+
+Semantics mirrored exactly:
+
+* inner-join: NULL join keys never match;
+* a cell predicate at projection position ``p`` must accept the projected
+  cell's value, and NULL cells never satisfy a predicate;
+* two projections of the same column with different predicates must both
+  pass (conjunction).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping, Optional
+
+from repro.dataset.database import Database
+from repro.errors import QueryError
+from repro.query.pj_query import ProjectJoinQuery
+from repro.query.plan import _connected_edge_order
+
+__all__ = ["execute_reference", "exists_reference"]
+
+CellPredicate = Callable[[Any], bool]
+
+
+def execute_reference(
+    database: Database,
+    query: ProjectJoinQuery,
+    cell_predicates: Optional[Mapping[int, CellPredicate]] = None,
+) -> list[tuple[Any, ...]]:
+    """Evaluate ``query`` by brute force and return its projected rows.
+
+    Row order is implementation-defined (differential tests compare
+    sorted results); everything else matches
+    :meth:`~repro.query.executor.Executor.execute` exactly.
+    """
+    query.validate(database)
+    predicates = dict(cell_predicates or {})
+    for position in predicates:
+        if position < 0 or position >= query.width:
+            raise QueryError(
+                f"cell predicate position {position} out of range "
+                f"for a query of width {query.width}"
+            )
+
+    readers = {
+        table_name: {
+            column.name: database.table(table_name).cell_reader(column.name)
+            for column in database.table(table_name).columns
+        }
+        for table_name in query.tables
+    }
+
+    # Order tables so each one after the first connects to an earlier one
+    # through a join edge, carrying the edge it connects through.
+    if query.joins:
+        edge_order = _connected_edge_order(query)
+        first = edge_order[0].tables()[0]
+        table_order: list[tuple[str, Optional[Any]]] = [(first, None)]
+        placed = {first}
+        for edge in edge_order:
+            left, right = edge.tables()
+            new_table = right if left in placed else left
+            table_order.append((new_table, edge))
+            placed.add(new_table)
+    else:
+        table_order = [(next(iter(query.tables)), None)]
+
+    results: list[tuple[Any, ...]] = []
+    assignment: dict[str, int] = {}
+
+    def edge_matches(edge: Any) -> bool:
+        child_value = readers[edge.child_table][edge.child_column](
+            assignment[edge.child_table]
+        )
+        parent_value = readers[edge.parent_table][edge.parent_column](
+            assignment[edge.parent_table]
+        )
+        return (
+            child_value is not None
+            and parent_value is not None
+            and child_value == parent_value
+        )
+
+    def emit_if_satisfied() -> None:
+        cells = tuple(
+            readers[ref.table][ref.column](assignment[ref.table])
+            for ref in query.projections
+        )
+        for position, predicate in predicates.items():
+            value = cells[position]
+            if value is None or not predicate(value):
+                return
+        results.append(cells)
+
+    def recurse(depth: int) -> None:
+        if depth == len(table_order):
+            emit_if_satisfied()
+            return
+        table_name, edge = table_order[depth]
+        for row_index in range(database.table(table_name).num_rows):
+            assignment[table_name] = row_index
+            if edge is not None and not edge_matches(edge):
+                continue
+            recurse(depth + 1)
+        assignment.pop(table_name, None)
+
+    recurse(0)
+    return results
+
+
+def exists_reference(
+    database: Database,
+    query: ProjectJoinQuery,
+    cell_predicates: Optional[Mapping[int, CellPredicate]] = None,
+) -> bool:
+    """Brute-force counterpart of :meth:`Executor.exists`."""
+    return bool(execute_reference(database, query, cell_predicates))

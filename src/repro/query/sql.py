@@ -1,9 +1,12 @@
-"""SQL rendering for Project-Join queries.
+"""SQL rendering for Project-Join queries and logical plans.
 
 The Result section of the demo shows the synthesized queries as SQL text
 (Figure 4b).  Join trees never repeat a table, so no aliases are required
 and the classic ``SELECT ... FROM ... WHERE`` comma-join form used in the
-paper's example is emitted.
+paper's example is emitted.  Rendering goes through the logical-plan IR:
+:func:`to_sql` builds the plan of its query and hands it to
+:func:`plan_to_sql`, so the SQL text is by construction a rendering of
+the same structure the planner optimizes and the executor runs.
 
 Passing the user's :class:`~repro.constraints.spec.MappingSpec` renders
 the sample-value constraints as WHERE predicates too.  Sample cells are
@@ -32,8 +35,20 @@ from repro.constraints.values import (
 )
 from repro.errors import QueryError
 from repro.query.pj_query import ProjectJoinQuery
+from repro.query.plan import (
+    Join,
+    PlanNode,
+    Project,
+    logical_plan_for_query,
+)
 
-__all__ = ["to_sql", "render_literal", "parse_literal", "constraint_to_sql"]
+__all__ = [
+    "to_sql",
+    "plan_to_sql",
+    "render_literal",
+    "parse_literal",
+    "constraint_to_sql",
+]
 
 
 def _quote_identifier(name: str) -> str:
@@ -136,12 +151,12 @@ def constraint_to_sql(column_sql: str, constraint: ValueConstraint) -> str:
     return f"{column_sql} IS NOT NULL"
 
 
-def _sample_predicates(query: ProjectJoinQuery, spec: MappingSpec) -> list[str]:
+def _sample_predicates(projections, spec: MappingSpec) -> list[str]:
     """One parenthesized AND-group per sample row carrying constraints."""
     groups = []
     for sample in spec.samples:
         parts = []
-        for position, ref in enumerate(query.projections):
+        for position, ref in enumerate(projections):
             if position >= sample.width:
                 break
             cell = sample.cell(position)
@@ -156,38 +171,52 @@ def _sample_predicates(query: ProjectJoinQuery, spec: MappingSpec) -> list[str]:
     return groups
 
 
-def to_sql(
-    query: ProjectJoinQuery,
-    pretty: bool = False,
-    spec: Optional[MappingSpec] = None,
-) -> str:
-    """Render ``query`` as a SQL string.
-
-    Args:
-        query: the Project-Join query to render.
-        pretty: when ``True``, place each clause on its own line.
-        spec: when given, the spec's sample-value constraints are rendered
-            as additional WHERE predicates (one OR-connected group per
-            sample row), with all constants escaped via
-            :func:`render_literal`.
-    """
-    select_list = ", ".join(
-        f"{_quote_identifier(ref.table)}.{_quote_identifier(ref.column)}"
-        for ref in query.projections
-    )
-    tables = sorted(query.tables)
-    from_list = ", ".join(_quote_identifier(table) for table in tables)
-    conditions = [
-        (
+def _join_conditions(node: PlanNode) -> list[str]:
+    """Join predicates collected bottom-up (first-joined edge first)."""
+    if isinstance(node, Join):
+        conditions = _join_conditions(node.left)
+        conditions.extend(_join_conditions(node.right))
+        edge = node.edge
+        conditions.append(
             f"{_quote_identifier(edge.child_table)}."
             f"{_quote_identifier(edge.child_column)} = "
             f"{_quote_identifier(edge.parent_table)}."
             f"{_quote_identifier(edge.parent_column)}"
         )
-        for edge in query.joins
-    ]
+        return conditions
+    conditions = []
+    for child in node.children():
+        conditions.extend(_join_conditions(child))
+    return conditions
+
+
+def plan_to_sql(
+    plan: PlanNode,
+    pretty: bool = False,
+    spec: Optional[MappingSpec] = None,
+) -> str:
+    """Render a logical plan as a SQL string.
+
+    The plan must contain a :class:`~repro.query.plan.Project` node (every
+    plan built from a PJ query does).  Join predicates are emitted in the
+    plan's join order; symbolic :class:`~repro.query.plan.Filter` nodes
+    are not rendered — cell predicates are arbitrary Python callables —
+    but a ``spec``'s sample-value constraints are, exactly as before.
+    """
+    project = next(
+        (node for node in plan.walk() if isinstance(node, Project)), None
+    )
+    if project is None:
+        raise QueryError("cannot render a plan without a Project node")
+    select_list = ", ".join(
+        f"{_quote_identifier(ref.table)}.{_quote_identifier(ref.column)}"
+        for ref in project.columns
+    )
+    tables = sorted(plan.tables)
+    from_list = ", ".join(_quote_identifier(table) for table in tables)
+    conditions = _join_conditions(plan)
     if spec is not None:
-        groups = _sample_predicates(query, spec)
+        groups = _sample_predicates(project.columns, spec)
         if groups:
             conditions.append(
                 groups[0] if len(groups) == 1 else "(" + " OR ".join(groups) + ")"
@@ -197,3 +226,21 @@ def to_sql(
     if conditions:
         parts.append("WHERE " + " AND ".join(conditions))
     return separator.join(parts)
+
+
+def to_sql(
+    query: ProjectJoinQuery,
+    pretty: bool = False,
+    spec: Optional[MappingSpec] = None,
+) -> str:
+    """Render ``query`` as a SQL string (via its logical plan).
+
+    Args:
+        query: the Project-Join query to render.
+        pretty: when ``True``, place each clause on its own line.
+        spec: when given, the spec's sample-value constraints are rendered
+            as additional WHERE predicates (one OR-connected group per
+            sample row), with all constants escaped via
+            :func:`render_literal`.
+    """
+    return plan_to_sql(logical_plan_for_query(query), pretty=pretty, spec=spec)

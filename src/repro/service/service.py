@@ -168,6 +168,11 @@ class ServiceMetrics:
     latency_max_seconds: float = 0.0
     latency_p50_seconds: float = 0.0
     latency_p95_seconds: float = 0.0
+    #: Batched validation passes across all completed rounds, and the
+    #: filter outcomes those batches decided beyond the scheduled filter
+    #: (see :class:`~repro.discovery.validation.ValidationStats`).
+    validation_batches: int = 0
+    batched_outcomes: int = 0
     artifacts: dict = field(default_factory=dict)
 
     def as_dict(self) -> dict:
@@ -188,6 +193,8 @@ class ServiceMetrics:
             "latency_max_seconds": self.latency_max_seconds,
             "latency_p50_seconds": self.latency_p50_seconds,
             "latency_p95_seconds": self.latency_p95_seconds,
+            "validation_batches": self.validation_batches,
+            "batched_outcomes": self.batched_outcomes,
             "artifacts": dict(self.artifacts),
         }
 
@@ -303,6 +310,8 @@ class DiscoveryService:
         self._latency_total = 0.0
         self._latency_min = float("inf")
         self._latency_max = 0.0
+        self._validation_batches = 0
+        self._batched_outcomes = 0
         self._request_ids = itertools.count(1)
 
     # ------------------------------------------------------------------
@@ -491,6 +500,8 @@ class DiscoveryService:
                 in_flight=self._in_flight,
                 queue_depth=self._queue.qsize(),
                 latency_count=self._latency_count,
+                validation_batches=self._validation_batches,
+                batched_outcomes=self._batched_outcomes,
             )
             if self._latency_count:
                 snapshot.latency_mean_seconds = (
@@ -634,4 +645,7 @@ class DiscoveryService:
             self._latency_total += latency
             self._latency_min = min(self._latency_min, latency)
             self._latency_max = max(self._latency_max, latency)
+            if response.result is not None:
+                self._validation_batches += response.result.stats.validation_batches
+                self._batched_outcomes += response.result.stats.batched_outcomes
         ticket._resolve(response)

@@ -5,6 +5,10 @@ Subcommands mirror what a demo attendee would do in the web UI:
 * ``prism databases`` — list the bundled source databases;
 * ``prism schema <database>`` — show tables, columns and row counts;
 * ``prism search ...`` — run one round of multiresolution discovery;
+* ``prism explain ...`` — run a round and explain one discovered query,
+  either as the paper's explanation graph or (``--plan``) as the
+  optimized logical plan with estimated cardinalities and
+  cross-candidate shared-prefix annotations;
 * ``prism serve-batch ...`` — drive many (mixed-database) rounds through
   the concurrent :class:`~repro.service.DiscoveryService`;
 * ``prism demo`` — replay the §3 Lake Tahoe walk-through end to end.
@@ -50,29 +54,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     schema_parser.add_argument("database", choices=available_databases())
 
+    def add_spec_arguments(sub_parser: argparse.ArgumentParser) -> None:
+        sub_parser.add_argument("--database", required=True,
+                                choices=available_databases())
+        sub_parser.add_argument("--columns", type=int, required=True,
+                                help="number of columns in the target schema")
+        sub_parser.add_argument(
+            "--sample",
+            action="append",
+            default=[],
+            help="one sample row; cells separated by ';' (repeatable)",
+        )
+        sub_parser.add_argument(
+            "--metadata",
+            action="append",
+            default=[],
+            help="metadata constraint as COLUMN:TEXT (repeatable)",
+        )
+        sub_parser.add_argument("--scheduler", default="bayesian",
+                                choices=["naive", "filter", "bayesian", "optimal"])
+        sub_parser.add_argument("--time-limit", type=float,
+                                default=DEFAULT_TIME_LIMIT_SECONDS)
+
     search_parser = subparsers.add_parser(
         "search", help="run one round of schema mapping discovery"
     )
-    search_parser.add_argument("--database", required=True,
-                               choices=available_databases())
-    search_parser.add_argument("--columns", type=int, required=True,
-                               help="number of columns in the target schema")
-    search_parser.add_argument(
-        "--sample",
-        action="append",
-        default=[],
-        help="one sample row; cells separated by ';' (repeatable)",
-    )
-    search_parser.add_argument(
-        "--metadata",
-        action="append",
-        default=[],
-        help="metadata constraint as COLUMN:TEXT (repeatable)",
-    )
-    search_parser.add_argument("--scheduler", default="bayesian",
-                               choices=["naive", "filter", "bayesian", "optimal"])
-    search_parser.add_argument("--time-limit", type=float,
-                               default=DEFAULT_TIME_LIMIT_SECONDS)
+    add_spec_arguments(search_parser)
     search_parser.add_argument("--max-queries", type=int, default=10,
                                help="maximum number of queries to print")
     search_parser.add_argument("--explain", type=int, default=None,
@@ -82,6 +89,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="exit with status 3 when the round hits its time limit "
              "(partial queries and stats are still printed)",
+    )
+
+    explain_parser = subparsers.add_parser(
+        "explain",
+        help="run one discovery round and explain one of its queries",
+    )
+    add_spec_arguments(explain_parser)
+    explain_parser.add_argument("--query", type=int, default=1,
+                                help="which discovered query to explain (1-based)")
+    explain_parser.add_argument(
+        "--plan",
+        action="store_true",
+        help="print the optimized logical plan (estimated cardinalities "
+             "and cross-candidate shared-prefix annotations) instead of "
+             "the explanation graph",
     )
 
     serve_parser = subparsers.add_parser(
@@ -150,7 +172,8 @@ def _command_schema(database_name: str) -> int:
     return 0
 
 
-def _command_search(args: argparse.Namespace) -> int:
+def _describe_session(args: argparse.Namespace) -> Optional[PrismSession]:
+    """Build a session from the shared spec arguments (None on bad input)."""
     session = PrismSession()
     num_samples = len(args.sample)
     session.configure(
@@ -169,7 +192,7 @@ def _command_search(args: argparse.Namespace) -> int:
                 f"schema has {args.columns} columns",
                 file=sys.stderr,
             )
-            return 2
+            return None
         for column, cell_text in enumerate(cells):
             session.set_sample_cell(row, column, cell_text)
     for metadata_text in args.metadata:
@@ -181,9 +204,15 @@ def _command_search(args: argparse.Namespace) -> int:
                 f"error: --metadata expects COLUMN:TEXT, got {metadata_text!r}",
                 file=sys.stderr,
             )
-            return 2
+            return None
         session.set_metadata_constraint(column, constraint_text)
+    return session
 
+
+def _command_search(args: argparse.Namespace) -> int:
+    session = _describe_session(args)
+    if session is None:
+        return 2
     result = session.search()
     stats = result.stats
     print(
@@ -207,6 +236,24 @@ def _command_search(args: argparse.Namespace) -> int:
         print(session.explain(fmt="ascii"))
     if result.timed_out and args.fail_on_timeout:
         return 3
+    return 0
+
+
+def _command_explain(args: argparse.Namespace) -> int:
+    session = _describe_session(args)
+    if session is None:
+        return 2
+    result = session.search()
+    if not result.num_queries:
+        print("no satisfying queries to explain", file=sys.stderr)
+        return 1
+    index = min(max(args.query, 1), result.num_queries) - 1
+    session.select_query(index)
+    print(f"query [{index + 1}]: {session.sql()}")
+    if args.plan:
+        print(session.explain_plan())
+    else:
+        print(session.explain(fmt="ascii"))
     return 0
 
 
@@ -326,6 +373,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _command_schema(args.database)
     if args.command == "search":
         return _command_search(args)
+    if args.command == "explain":
+        return _command_explain(args)
     if args.command == "serve-batch":
         return _command_serve_batch(args)
     if args.command == "demo":

@@ -25,7 +25,14 @@ from repro.discovery.result import DiscoveryResult, DiscoveryStats
 from repro.errors import DiscoveryTimeout, SessionError
 from repro.service.artifacts import ArtifactStore
 from repro.explain.graph import QueryGraph
-from repro.explain.render import to_ascii, to_dict, to_dot
+from repro.explain.render import (
+    plan_to_ascii,
+    shared_structure_counts,
+    to_ascii,
+    to_dict,
+    to_dot,
+)
+from repro.query.plan import PredicateSpec
 from repro.query.pj_query import ProjectJoinQuery
 from repro.query.sql import to_sql
 
@@ -305,6 +312,57 @@ class PrismSession:
         if fmt == "graph":
             return graph
         raise SessionError(f"unknown explanation format: {fmt!r}")
+
+    def explain_plan(
+        self, index: Optional[int] = None, sample: Optional[int] = None
+    ) -> str:
+        """The optimized logical plan of the selected (or given) query.
+
+        The join order is exactly what the engine's executor runs for
+        the query (physical plans are keyed by join structure, so it
+        never depends on the constraints).  One sample row's
+        constraints are overlaid onto the scans they push down to —
+        sample rows are alternatives, validated by separate probes, so
+        showing several at once would misstate the cardinalities.  The
+        rendering is annotated with the planner's estimated
+        cardinalities and with which sub-structures are shared by other
+        queries of this discovery round (those are the prefixes
+        validated in one batched pass and served by one cached physical
+        plan).
+
+        Args:
+            index: query index; defaults to the currently selected query.
+            sample: which sample row's constraints to overlay
+                (0-based); defaults to the first row carrying any.
+        """
+        query = self._query_for(index)
+        engine = self._engine()
+        executor = engine.executor
+        spec = self.build_spec()
+        samples = spec.samples
+        if sample is not None and not 0 <= sample < len(samples):
+            raise SessionError(
+                f"sample row {sample} out of range; the spec has "
+                f"{len(samples)} sample rows"
+            )
+        specs: list[PredicateSpec] = []
+        chosen = [samples[sample]] if sample is not None else samples
+        for row in chosen:
+            for position in row.constrained_positions():
+                if position >= query.width:
+                    continue
+                ref = query.projections[position]
+                constraint = row.cell(position)
+                specs.append(
+                    PredicateSpec(ref.table, ref.column, tag=constraint.describe())
+                )
+            if specs:
+                break
+        plan = executor.logical_plan(query, specs)
+        shared = shared_structure_counts(
+            executor.logical_plan(other) for other in self._require_result().queries
+        )
+        return plan_to_ascii(plan, planner=executor.planner, shared=shared)
 
     def _query_for(self, index: Optional[int]) -> ProjectJoinQuery:
         result = self._require_result()

@@ -48,9 +48,22 @@ class TestJoinIndexReuse:
 
     def test_insert_invalidates_the_cached_index(self, executor, company_db):
         executor.execute(JOIN_QUERY)
-        company_db.table("Department").insert(("Support", "Toledo", 50_000.0))
+        # The cost-based plan streams Department (the smaller side) and
+        # probes the cached join index on Employee.Department; a write to
+        # Employee must invalidate that index.
+        company_db.table("Employee").insert((7, "Grace Ito", "Sales", 88_000.0, 31))
         rows = executor.execute(JOIN_QUERY)
         assert executor.stats.join_index_builds == 2
+        assert len(rows) == 7
+
+    def test_insert_into_unprobed_table_keeps_the_index(self, executor, company_db):
+        executor.execute(JOIN_QUERY)
+        # Department is streamed, not probed, so growing it does not
+        # invalidate the cached Employee-side index.
+        company_db.table("Department").insert(("Support", "Toledo", 50_000.0))
+        rows = executor.execute(JOIN_QUERY)
+        assert executor.stats.join_index_builds == 1
+        assert executor.stats.join_index_hits == 1
         assert len(rows) == 6  # nobody works in Support yet
 
     def test_reused_index_gives_same_results_as_fresh_executor(self, executor, company_db):

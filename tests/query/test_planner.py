@@ -1,0 +1,145 @@
+"""Unit tests for the cost-based planner (ordering, estimates, prefixes)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataset.catalog import MetadataCatalog
+from repro.dataset.schema import ColumnRef, ForeignKey
+from repro.errors import QueryError
+from repro.query.pj_query import ProjectJoinQuery
+from repro.query.plan import (
+    Filter,
+    Join,
+    PredicateSpec,
+    Project,
+    Scan,
+    logical_plan_for_query,
+)
+from repro.query.planner import DEFAULT_FILTER_SELECTIVITY, Planner
+
+EMP_DEPT = ForeignKey("Employee", "Department", "Department", "Name")
+ASSIGN_EMP = ForeignKey("Assignment", "EmployeeId", "Employee", "Id")
+ASSIGN_PROJ = ForeignKey("Assignment", "ProjectCode", "Project", "Code")
+
+TWO_TABLE = ProjectJoinQuery(
+    (ColumnRef("Department", "City"), ColumnRef("Employee", "Name")),
+    (EMP_DEPT,),
+)
+FOUR_TABLE = ProjectJoinQuery(
+    (ColumnRef("Department", "Name"), ColumnRef("Project", "Title")),
+    (EMP_DEPT, ASSIGN_EMP, ASSIGN_PROJ),
+)
+
+
+@pytest.fixture()
+def planner(company_db):
+    return Planner(company_db, MetadataCatalog.build(company_db))
+
+
+@pytest.fixture()
+def statless_planner(company_db):
+    return Planner(company_db)
+
+
+class TestCardinalities:
+    def test_scan_estimate_matches_row_count(self, planner, company_db):
+        assert planner.estimated_rows(Scan("Employee")) == 6
+        assert planner.estimated_rows(Scan("Department")) == 4
+
+    def test_filter_discounts_by_distinct_count(self, planner):
+        # Employee.Name has 6 distinct values over 6 rows.
+        filtered = Filter(
+            Scan("Employee"), (PredicateSpec("Employee", "Name", tag="x"),)
+        )
+        assert planner.estimated_rows(filtered) == pytest.approx(1.0)
+
+    def test_filter_without_stats_uses_default_selectivity(self, statless_planner):
+        filtered = Filter(
+            Scan("Employee"), (PredicateSpec("Employee", "Name", tag="x"),)
+        )
+        assert statless_planner.estimated_rows(filtered) == pytest.approx(
+            6 * DEFAULT_FILTER_SELECTIVITY
+        )
+
+    def test_join_estimate_uses_containment_assumption(self, planner):
+        join = Join(Scan("Employee"), Scan("Department"), EMP_DEPT)
+        # 6 * 4 / max(d(Employee.Department)=4, d(Department.Name)=4) = 6.
+        assert planner.estimated_rows(join) == pytest.approx(6.0)
+
+    def test_project_and_exists_are_transparent(self, planner):
+        plan = logical_plan_for_query(TWO_TABLE, exists=True)
+        assert planner.estimated_rows(plan) == planner.estimated_rows(plan.child)
+
+
+class TestJoinOrdering:
+    def test_starts_from_the_smallest_input(self, planner):
+        order = planner.join_order(TWO_TABLE)
+        assert order.start_table == "Department"
+        assert order.edges == (EMP_DEPT,)
+
+    def test_filtered_table_becomes_the_start(self, planner):
+        plan = planner.plan_query(
+            TWO_TABLE, (PredicateSpec("Employee", "Name", tag="x"),)
+        )
+        # The filtered Employee side (~1 row) is now cheaper than the
+        # 4-row Department scan, so it anchors the join.
+        body = plan.child if isinstance(plan, Project) else plan
+        assert isinstance(body, Join)
+        left = body.left
+        assert isinstance(left, Filter)
+        assert left.child.table == "Employee"
+
+    def test_four_table_order_is_connected(self, planner):
+        order = planner.join_order(FOUR_TABLE)
+        joined = {order.start_table}
+        for edge in order.edges:
+            left, right = edge.tables()
+            assert left in joined or right in joined
+            joined.update((left, right))
+        assert joined == {"Department", "Employee", "Assignment", "Project"}
+
+    def test_order_is_deterministic(self, planner):
+        first = planner.join_order(FOUR_TABLE)
+        second = planner.join_order(FOUR_TABLE)
+        assert first.start_table == second.start_table
+        assert first.edges == second.edges
+
+    def test_optimized_plan_is_left_deep_with_same_structure(self, planner):
+        plan = planner.plan_query(FOUR_TABLE)
+        assert isinstance(plan, Project)
+        assert set(plan.edges()) == set(FOUR_TABLE.joins)
+        node = plan.child
+        while isinstance(node, Join):
+            assert isinstance(node.right, (Scan, Filter))
+            node = node.left
+        assert isinstance(node, (Scan, Filter))
+
+    def test_no_join_query_orders_trivially(self, planner):
+        query = ProjectJoinQuery((ColumnRef("Employee", "Name"),))
+        order = planner.join_order(query)
+        assert order.start_table == "Employee"
+        assert order.edges == ()
+
+    def test_disconnected_edges_are_rejected(self, planner):
+        bad = logical_plan_for_query(TWO_TABLE)
+        disconnected = Join(
+            Join(Scan("Employee"), Scan("Department"), EMP_DEPT),
+            Scan("Project"),
+            ForeignKey("Ghost", "x", "Phantom", "y"),
+        )
+        with pytest.raises(QueryError):
+            planner.optimize(Project(disconnected, TWO_TABLE.projections))
+        assert planner.optimize(bad) is not None
+
+
+class TestPrefixGrouping:
+    def test_group_by_prefix_unites_same_structure_queries(self, planner):
+        other = ProjectJoinQuery(
+            (ColumnRef("Employee", "Salary"),),
+            (EMP_DEPT,),
+        )
+        single = ProjectJoinQuery((ColumnRef("Employee", "Name"),))
+        groups = Planner.group_by_prefix([TWO_TABLE, other, single])
+        assert len(groups) == 2
+        assert sorted(len(group) for group in groups.values()) == [1, 2]

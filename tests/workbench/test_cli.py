@@ -69,6 +69,50 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "relations:" in output
 
+    def test_explain_command_prints_the_graph(self, capsys):
+        exit_code = main(
+            [
+                "explain",
+                "--database", "nba",
+                "--columns", "2",
+                "--sample", "Lakers;LeBron James",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "query [1]:" in output
+        assert "relations:" in output
+
+    def test_explain_command_plan_prints_the_optimized_plan(self, capsys):
+        exit_code = main(
+            [
+                "explain",
+                "--database", "nba",
+                "--columns", "2",
+                "--sample", "Lakers;LeBron James",
+                "--plan",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Project[" in output
+        assert "Scan(" in output
+        # Cardinality annotations come from the planner's estimates.
+        assert "rows" in output
+
+    def test_explain_command_without_results_fails_cleanly(self, capsys):
+        exit_code = main(
+            [
+                "explain",
+                "--database", "nba",
+                "--columns", "2",
+                "--sample", "No Such Team;Nobody At All",
+                "--plan",
+            ]
+        )
+        assert exit_code == 1
+        assert "no satisfying queries" in capsys.readouterr().err
+
     def test_search_rejects_too_many_cells(self, capsys):
         exit_code = main(
             [

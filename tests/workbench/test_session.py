@@ -14,8 +14,8 @@ def session(company_db_session):
     return PrismSession(databases={"company": company_db_session})
 
 
-def configure(session: PrismSession) -> PrismSession:
-    return session.configure("company", num_columns=2, num_samples=1)
+def configure(session: PrismSession, num_samples: int = 1) -> PrismSession:
+    return session.configure("company", num_columns=2, num_samples=num_samples)
 
 
 class TestConfiguration:
@@ -112,6 +112,54 @@ class TestSearchAndResults:
         assert dot_text.startswith("graph")
         payload = session.explain(fmt="dict")
         assert payload["sql"] == session.sql()
+
+    def test_explain_plan_matches_the_physical_join_order(self, session):
+        from repro.query.plan import Join, Scan, Filter as PlanFilter
+
+        configure(session)
+        session.set_sample_cell(0, 0, "Engineering")
+        session.set_sample_cell(0, 1, "Query Optimizer")
+        session.search()
+        joined = next(
+            i for i, q in enumerate(session.queries()) if q.join_size >= 1
+        )
+        session.select_query(joined)
+        text = session.explain_plan()
+        assert "Project[" in text and "Scan(" in text and "rows" in text
+        # The rendered join order is exactly the executor's physical
+        # order, predicates notwithstanding: displayed plans come from
+        # the structural (cost-only) optimization.
+        engine = session._engine()
+        query = session.selected_query
+        displayed = engine.executor.logical_plan(
+            query,
+            # Any predicate overlay must not perturb the join order.
+            [],
+        )
+        order = engine.executor.planner.join_order(query)
+        spine = displayed.child
+        edges = []
+        while isinstance(spine, Join):
+            edges.append(spine.edge)
+            spine = spine.left
+        edges.reverse()
+        assert tuple(edges) == order.edges
+        while isinstance(spine, PlanFilter):
+            spine = spine.child
+        assert isinstance(spine, Scan) and spine.table == order.start_table
+
+    def test_explain_plan_overlays_one_sample_row_only(self, session):
+        configure(session, num_samples=2)
+        session.set_sample_cell(0, 0, "Engineering")
+        session.set_sample_cell(1, 0, "Marketing")
+        session.search()
+        session.select_query(0)
+        first = session.explain_plan()
+        assert "Engineering" in first and "Marketing" not in first
+        second = session.explain_plan(sample=1)
+        assert "Marketing" in second and "Engineering" not in second
+        with pytest.raises(SessionError):
+            session.explain_plan(sample=5)
 
     def test_explain_unknown_format_rejected(self, session):
         configure(session)
