@@ -2,47 +2,52 @@
 
 The paper's demo is an interactive multi-user system (§2.2).  This example
 drives N concurrent discovery requests across all three bundled databases
-through the :class:`~repro.service.DiscoveryService` worker pool.  The
-artifact store preprocesses each database exactly once — every other
-request warm-starts from the shared, immutable bundle — and the service
-metrics show the in-flight accounting, latency distribution and cache
-counters.  Run with::
+through the :class:`~repro.api.DiscoveryService` — first over the
+GIL-bound thread pool, then over process shards, where each worker
+process owns its databases outright and requests cross the boundary as
+versioned JSON messages.  The artifact store preprocesses each database
+once per owning process — every other request warm-starts from the
+shared, immutable bundle — and the service metrics show the in-flight
+accounting, latency distribution and (per-shard) cache counters.
+Run with::
 
     python examples/concurrent_service.py
 """
 
 from __future__ import annotations
 
+from repro.api import ArtifactStore, DiscoveryService, demo_requests
 from repro.discovery.candidates import GenerationLimits
-from repro.service import ArtifactStore, DiscoveryService, demo_requests
 
 ROUNDS = 4          # 4 rounds x 3 databases = 12 concurrent requests
 WORKERS = 4
 
 
-def main() -> None:
+def serve(shard_mode: str) -> None:
     store = ArtifactStore()
     service = DiscoveryService(
         store=store,
-        num_workers=WORKERS,
+        workers=WORKERS,
         queue_size=32,
+        shard_mode=shard_mode,
         limits=GenerationLimits(max_candidates=200, max_assignments=400),
     )
     requests = demo_requests(rounds=ROUNDS)
     print(
+        f"\n=== shard_mode={shard_mode!r} ===\n"
         f"submitting {len(requests)} requests across "
         f"{len({r.database for r in requests})} databases "
         f"to a {WORKERS}-worker service"
     )
 
     with service:
-        # Submit everything up front so the pool genuinely runs
+        # Submit everything up front so the executor genuinely runs
         # concurrently, then collect the responses.
         tickets = [service.submit(request, block=True) for request in requests]
         responses = [ticket.result() for ticket in tickets]
         metrics = service.metrics()
 
-    print("\nresponses:")
+    print("responses:")
     for response in responses:
         print(
             f"  [{response.request_id}] {response.database}: "
@@ -53,16 +58,26 @@ def main() -> None:
 
     artifacts = metrics.artifacts
     print(
-        f"\nartifact store: {artifacts['builds']} builds for "
+        f"artifact store: {artifacts['builds']} builds for "
         f"{len(artifacts['builds_by_database'])} databases, "
         f"{artifacts['hits']} cache hits"
-        " — each database was preprocessed exactly once"
     )
+    if metrics.shards:
+        breakdown = ", ".join(
+            f"shard {shard_id}: {info['served']} served"
+            for shard_id, info in sorted(metrics.shards.items())
+        )
+        print(f"shards: {breakdown}")
     print(
         f"service: {metrics.completed} completed, {metrics.ok} ok, "
         f"latency mean {metrics.latency_mean_seconds * 1000:.0f} ms / "
         f"p95 {metrics.latency_p95_seconds * 1000:.0f} ms"
     )
+
+
+def main() -> None:
+    serve("thread")
+    serve("process")
 
 
 if __name__ == "__main__":

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from repro import MappingSpec, Prism, load_nba
 from repro.constraints import parse_value_constraint
-from repro.service import ArtifactStore
+from repro.api import ArtifactStore
 
 
 def _discover(bundle, keyword: str):

@@ -39,7 +39,10 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.baselines` — MWeaver-style and Filter baselines.
 * :mod:`repro.explain` — query explanation graphs.
 * :mod:`repro.service` — shared preprocessing-artifact store + concurrent
-  discovery service (worker pool, bounded queue, deadlines, metrics).
+  discovery service (thread- or process-sharded executor, bounded queue,
+  deadlines, metrics, versioned v1 wire format).
+* :mod:`repro.api` — the stable v1 public surface; the single import
+  point with a compatibility promise.
 * :mod:`repro.workbench` — the demo workflow (session + CLI).
 * :mod:`repro.workloads` / :mod:`repro.evaluation` — §2.4 evaluation harness.
 """
@@ -80,16 +83,16 @@ from repro.discovery import (
 )
 from repro.explain import QueryGraph, to_ascii, to_dot
 from repro.query import Executor, ProjectJoinQuery, to_sql
-from repro.service import (
-    ArtifactBundle,
-    ArtifactKey,
-    ArtifactStore,
+from repro.service.artifacts import ArtifactBundle, ArtifactKey, ArtifactStore
+from repro.service.service import (
     DiscoveryRequest,
     DiscoveryResponse,
     DiscoveryService,
+    DiscoveryTicket,
+    ServiceMetrics,
 )
 from repro.storage import ColumnStore, StorageBackend, TableDelta, TableMark
-from repro.workbench import PrismSession
+from repro.workbench.session import PrismSession
 
 __version__ = "0.1.0"
 
@@ -107,6 +110,8 @@ __all__ = [
     "DiscoveryResult",
     "DiscoveryService",
     "DiscoveryStats",
+    "DiscoveryTicket",
+    "ServiceMetrics",
     "Executor",
     "FilterBaseline",
     "ForeignKey",

@@ -194,7 +194,11 @@ class SchemaGraph:
             for tables, edges in frontier:
                 if len(tables) >= max_tables:
                     continue
-                for table in tables:
+                # Iterate tables in sorted order: frozenset iteration order
+                # depends on the interpreter's hash seed, and a hash-order
+                # walk would make the trees that survive a ``max_trees``
+                # bound differ between processes.
+                for table in sorted(tables):
                     for __, other, data in self._graph.edges(table, data=True):
                         if other in tables:
                             continue

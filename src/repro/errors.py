@@ -221,6 +221,24 @@ class ServiceError(ReproError):
     """
 
 
+class WireFormatError(ServiceError):
+    """A v1 wire message (JSON request/response) could not be decoded.
+
+    When raised: :meth:`~repro.service.DiscoveryRequest.from_json` /
+    :meth:`~repro.service.DiscoveryResponse.from_json` (and the
+    :mod:`repro.service.wire` codec behind them) on a payload that is not
+    a JSON object, misses a required field, carries an *unknown* field
+    (v1 is strict: typos never pass silently), or declares an
+    ``api_version`` this build does not speak.  The process-shard IPC
+    layer raises it for malformed frames too.
+
+    How to recover: the message names the offending field or version.
+    Regenerate the payload with ``to_json()`` from a matching library
+    version instead of hand-editing it; for version skew, upgrade the
+    older side (v1 readers reject newer majors rather than guessing).
+    """
+
+
 class ServiceOverloaded(ServiceError):
     """The service's bounded request queue is full (backpressure signal).
 

@@ -218,6 +218,15 @@ class ArtifactStore:
         self._mutex = threading.Lock()
         self.stats = ArtifactStoreStats()
 
+    @property
+    def persist_dir(self) -> Optional[Path]:
+        """The bundle persistence directory (``None`` when disabled).
+
+        The process-shard executor reads this to point every worker
+        process at the same warm-start directory as the parent store.
+        """
+        return self._persist_dir
+
     # ------------------------------------------------------------------
     # Lookup
     # ------------------------------------------------------------------

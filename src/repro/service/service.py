@@ -1,24 +1,36 @@
-"""A thread-safe, multi-session front door for query discovery.
+"""A multi-session front door for query discovery, thread- or process-sharded.
 
 The demo paper pitches Prism as an *interactive, multi-user* system with a
 60-second-per-round budget (§2.2).  :class:`DiscoveryService` is the
 serving layer that makes the reproduction behave that way:
 
-* a **worker pool** executes discovery rounds concurrently, each on a
-  cheap per-request :class:`~repro.discovery.engine.Prism` engine layered
-  over shared immutable artifacts from an
-  :class:`~repro.service.ArtifactStore`;
+* an **executor** runs discovery rounds concurrently, each on a cheap
+  per-request :class:`~repro.discovery.engine.Prism` engine layered over
+  shared immutable artifacts from an
+  :class:`~repro.service.ArtifactStore`.  Two shard modes exist:
+  ``shard_mode="thread"`` (a worker-thread pool sharing one in-process
+  store — simple, but the GIL serializes the pure-Python discovery work)
+  and ``shard_mode="process"`` (long-lived worker *processes*, each
+  owning its shard of the databases and warm-starting its artifacts from
+  the store's ``persist_dir``; requests cross the process boundary as
+  versioned JSON frames — see :mod:`repro.service.wire` and
+  :mod:`repro.service.shards`);
 * a **bounded request queue** applies backpressure — when it is full,
   :meth:`DiscoveryService.submit` raises
   :class:`~repro.errors.ServiceOverloaded` instead of buffering without
   limit;
-* every request carries a **deadline**: time spent waiting in the queue
-  counts against the round's interactive budget, and a request whose
-  budget expired before a worker picked it up is answered with a timeout
-  response instead of being run;
+* every request carries a **deadline** (``deadline_s``): time spent
+  waiting in the queue counts against the round's interactive budget, and
+  a request whose budget expired before a worker picked it up is answered
+  with a timeout response instead of being run;
 * tickets support **cancellation** while queued, and the service keeps
   **metrics** (in-flight/completed counts, latency statistics, artifact
-  cache hits vs builds).
+  cache hits vs builds — per shard and merged, in process mode).
+
+The front door is identical in both modes: queueing, cancellation,
+deadline accounting and backpressure all happen in the submitting
+process, so a request queued to a busy shard can still be cancelled or
+expire without any IPC.
 
 Timeouts are structured results, never opaque errors: a round that hits
 its budget returns ``status="timeout"`` with the partial
@@ -31,6 +43,7 @@ import itertools
 import queue
 import threading
 import time
+import warnings
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Optional, Sequence
@@ -46,7 +59,8 @@ from repro.errors import (
     ServiceError,
     ServiceOverloaded,
 )
-from repro.service.artifacts import ArtifactStore
+from repro.service import wire as _wire
+from repro.service.artifacts import ArtifactStore, ArtifactStoreStats
 
 __all__ = [
     "DiscoveryRequest",
@@ -58,16 +72,98 @@ __all__ = [
 
 _LATENCY_WINDOW = 1024
 
+_SHARD_MODES = ("thread", "process")
 
-@dataclass(frozen=True)
+
+def _deprecated_kwarg(canonical, legacy, canonical_name: str, legacy_name: str):
+    """Resolve a renamed keyword: prefer the canonical spelling, accept the
+    legacy one for a release with a :class:`DeprecationWarning`."""
+    if legacy is not None:
+        warnings.warn(
+            f"{legacy_name} is deprecated; use {canonical_name}",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        if canonical is None:
+            return legacy
+    return canonical
+
+
+def _merge_counts(target: dict, delta: Mapping) -> dict:
+    """Fold one nested counter dict into another (ints add, dicts recurse)."""
+    for key, value in delta.items():
+        if isinstance(value, Mapping):
+            _merge_counts(target.setdefault(key, {}), value)
+        else:
+            target[key] = target.get(key, 0) + value
+    return target
+
+
+@dataclass(frozen=True, init=False)
 class DiscoveryRequest:
-    """One discovery round as submitted to the service."""
+    """One discovery round as submitted to the service.
+
+    ``deadline_s`` is the round's interactive budget in seconds — queue
+    wait counts against it, so it is a *deadline*, not a pure execution
+    limit.  The pre-v1 name ``time_limit`` is still accepted as a
+    constructor keyword (and readable as a property) for one release,
+    with a :class:`DeprecationWarning`.
+
+    Requests are wire-serializable: :meth:`to_json` /
+    :meth:`from_json` round-trip through the versioned v1 format of
+    :mod:`repro.service.wire`, which is how they cross the process-shard
+    IPC boundary and how ``prism serve-batch`` request files travel.
+    """
 
     database: str
     spec: MappingSpec
     scheduler: Optional[str] = None
-    time_limit: Optional[float] = None
+    deadline_s: Optional[float] = None
     request_id: Optional[str] = None
+
+    def __init__(
+        self,
+        database: str,
+        spec: MappingSpec,
+        scheduler: Optional[str] = None,
+        deadline_s: Optional[float] = None,
+        request_id: Optional[str] = None,
+        time_limit: Optional[float] = None,
+    ):
+        deadline_s = _deprecated_kwarg(
+            deadline_s, time_limit,
+            "DiscoveryRequest(deadline_s=...)",
+            "DiscoveryRequest(time_limit=...)",
+        )
+        object.__setattr__(self, "database", database)
+        object.__setattr__(self, "spec", spec)
+        object.__setattr__(self, "scheduler", scheduler)
+        object.__setattr__(self, "deadline_s", deadline_s)
+        object.__setattr__(self, "request_id", request_id)
+
+    @property
+    def time_limit(self) -> Optional[float]:
+        """Deprecated alias for :attr:`deadline_s`."""
+        warnings.warn(
+            "DiscoveryRequest.time_limit is deprecated; use deadline_s",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.deadline_s
+
+    def to_json(self) -> str:
+        """This request as a versioned v1 wire message (JSON text)."""
+        return _wire.dumps(_wire.request_to_wire(self))
+
+    @classmethod
+    def from_json(cls, text: str) -> "DiscoveryRequest":
+        """Decode a request from v1 wire JSON.
+
+        Raises:
+            WireFormatError: the payload is not valid v1 — wrong
+                ``api_version``, missing fields, or unknown fields.
+        """
+        return _wire.request_from_wire(_wire.loads(text))
 
 
 @dataclass
@@ -77,6 +173,12 @@ class DiscoveryResponse:
     ``status`` is one of ``ok``, ``timeout``, ``cancelled`` or ``error``.
     A ``timeout`` response still carries the partial result (whatever
     queries were confirmed before the budget ran out) plus its stats.
+
+    Responses decoded from the wire (:meth:`from_json`, and everything a
+    process shard returns) carry a
+    :class:`~repro.service.wire.RemoteDiscoveryResult`: same ``sql()``,
+    ``num_queries`` and ``stats``, but the live query objects stayed on
+    the side that ran the round.
     """
 
     request_id: str
@@ -96,6 +198,20 @@ class DiscoveryResponse:
     def num_queries(self) -> int:
         """Number of (possibly partial) discovered queries."""
         return self.result.num_queries if self.result is not None else 0
+
+    def to_json(self) -> str:
+        """This response as a versioned v1 wire message (JSON text)."""
+        return _wire.dumps(_wire.response_to_wire(self))
+
+    @classmethod
+    def from_json(cls, text: str) -> "DiscoveryResponse":
+        """Decode a response from v1 wire JSON.
+
+        Raises:
+            WireFormatError: the payload is not valid v1 — wrong
+                ``api_version``, missing fields, or unknown fields.
+        """
+        return _wire.response_from_wire(_wire.loads(text))
 
 
 class DiscoveryTicket:
@@ -174,6 +290,11 @@ class ServiceMetrics:
     validation_batches: int = 0
     batched_outcomes: int = 0
     artifacts: dict = field(default_factory=dict)
+    #: Process mode only: per-shard breakdown — ``{shard_id: {"served": n,
+    #: "artifacts": {...}}}``.  ``artifacts`` above is then the
+    #: element-wise sum of the shard counters, so totals always equal the
+    #: sum over shards.  Empty in thread mode.
+    shards: dict = field(default_factory=dict)
 
     def as_dict(self) -> dict:
         """Plain-dict view used by the CLI and reports."""
@@ -196,7 +317,152 @@ class ServiceMetrics:
             "validation_batches": self.validation_batches,
             "batched_outcomes": self.batched_outcomes,
             "artifacts": dict(self.artifacts),
+            "shards": {key: dict(value) for key, value in self.shards.items()},
         }
+
+
+class _TicketQueue:
+    """A bounded queue whose entries are routable to a subset of workers.
+
+    Thread mode enqueues with ``owners=None`` (any worker may serve the
+    ticket) and this degenerates to a plain bounded FIFO.  Process mode
+    enqueues with the owner set from the
+    :class:`~repro.service.shards.ShardAssignment`, and ``get(worker_id)``
+    hands each worker the oldest ticket it is allowed to serve — so a
+    partitioned database never lands on a shard that does not hold its
+    artifacts, while replicated databases are work-stolen by whichever
+    owning shard frees up first.
+
+    ``close()`` wakes every waiting worker; workers drain the tickets
+    still routable to them and then receive ``None``.
+    """
+
+    def __init__(self, maxsize: int):
+        self.maxsize = maxsize
+        self._items: deque = deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+        self._closed = False
+
+    def put(
+        self,
+        ticket: DiscoveryTicket,
+        owners: Optional[frozenset],
+        block: bool = False,
+        timeout: Optional[float] = None,
+    ) -> None:
+        """Enqueue; raises :class:`queue.Full` on an exhausted bound."""
+        with self._not_full:
+            if len(self._items) >= self.maxsize:
+                if not block:
+                    raise queue.Full
+                deadline = (
+                    None if timeout is None else time.monotonic() + timeout
+                )
+                while len(self._items) >= self.maxsize:
+                    remaining = (
+                        None if deadline is None
+                        else deadline - time.monotonic()
+                    )
+                    if remaining is not None and remaining <= 0:
+                        raise queue.Full
+                    self._not_full.wait(remaining)
+            self._items.append((ticket, owners))
+            # notify_all, not notify: with routing, the one woken worker
+            # might not be an owner of the new ticket.
+            self._not_empty.notify_all()
+
+    def get(self, worker_id: int) -> Optional[DiscoveryTicket]:
+        """The oldest ticket routable to ``worker_id``; ``None`` after close."""
+        with self._not_empty:
+            while True:
+                for index, (ticket, owners) in enumerate(self._items):
+                    if owners is None or worker_id in owners:
+                        del self._items[index]
+                        self._not_full.notify()
+                        return ticket
+                if self._closed:
+                    return None
+                self._not_empty.wait()
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    def qsize(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+
+def _execute_round(
+    resolve_database: Callable[[str], Database],
+    store: ArtifactStore,
+    request: DiscoveryRequest,
+    request_id: str,
+    budget: float,
+    queued_seconds: float,
+    default_scheduler: str,
+    limits: Optional[GenerationLimits],
+    refresh_artifacts: bool,
+) -> DiscoveryResponse:
+    """Run one round to a structured response.
+
+    This is the single execution path shared by the thread-mode workers,
+    :meth:`DiscoveryService.execute`, and the shard worker processes
+    (:mod:`repro.service.shards`) — which is what makes the golden
+    thread-vs-process equality hold: both modes run exactly this code on
+    the same artifacts.
+    """
+    started = time.monotonic()
+    try:
+        database = resolve_database(request.database)
+        if refresh_artifacts:
+            bundle = store.refresh(database)
+        else:
+            bundle = store.get(database)
+        engine = Prism.from_artifacts(
+            bundle,
+            scheduler=request.scheduler or default_scheduler,
+            time_limit=budget,
+            limits=limits,
+        )
+        result = engine.discover(request.spec, raise_on_timeout=True)
+    except DiscoveryTimeout as exc:
+        partial = exc.partial_result
+        if partial is None:
+            stats = DiscoveryStats(
+                scheduler_name=request.scheduler or default_scheduler
+            )
+            stats.timed_out = True
+            partial = DiscoveryResult(stats=stats)
+        return DiscoveryResponse(
+            request_id=request_id,
+            database=request.database,
+            status="timeout",
+            result=partial,
+            error=str(exc),
+            queued_seconds=queued_seconds,
+            execution_seconds=time.monotonic() - started,
+        )
+    except ReproError as exc:
+        return DiscoveryResponse(
+            request_id=request_id,
+            database=request.database,
+            status="error",
+            error=f"{type(exc).__name__}: {exc}",
+            queued_seconds=queued_seconds,
+            execution_seconds=time.monotonic() - started,
+        )
+    return DiscoveryResponse(
+        request_id=request_id,
+        database=request.database,
+        status="ok",
+        result=result,
+        queued_seconds=queued_seconds,
+        execution_seconds=time.monotonic() - started,
+    )
 
 
 class DiscoveryService:
@@ -215,7 +481,7 @@ class DiscoveryService:
         2
         >>> spec = MappingSpec(num_columns=1)
         >>> _ = spec.add_sample_cells([parse_value_constraint("Springfield")])
-        >>> with DiscoveryService(databases={"docs": db}, num_workers=1) as svc:
+        >>> with DiscoveryService(databases={"docs": db}, workers=1) as svc:
         ...     response = svc.submit(DiscoveryRequest("docs", spec)).result()
         >>> response.status
         'ok'
@@ -228,12 +494,17 @@ class DiscoveryService:
         databases: Optional[Mapping[str, Database]] = None,
         loaders: Optional[Mapping[str, Callable[[], Database]]] = None,
         store: Optional[ArtifactStore] = None,
-        num_workers: int = 4,
+        workers: Optional[int] = None,
         queue_size: int = 64,
         default_scheduler: str = "bayesian",
-        default_time_limit: float = DEFAULT_TIME_LIMIT_SECONDS,
+        default_deadline_s: Optional[float] = None,
         limits: Optional[GenerationLimits] = None,
         refresh_artifacts: bool = False,
+        shard_mode: str = "thread",
+        start_method: Optional[str] = None,
+        replication: Optional[int] = None,
+        num_workers: Optional[int] = None,
+        default_time_limit: Optional[float] = None,
     ):
         """Create a service.
 
@@ -242,17 +513,22 @@ class DiscoveryService:
             loaders: mapping of name → zero-argument loader, called lazily
                 on a database's first request.  When both ``databases``
                 and ``loaders`` are omitted, the bundled demo databases
-                (mondial, imdb, nba) are served.
+                (mondial, imdb, nba) are served.  In
+                ``shard_mode="process"`` with the ``spawn`` start method,
+                loaders must be picklable (module-level functions).
             store: the artifact store to share; a private one is created
                 when omitted.  Passing a store with a ``persist_dir``
-                makes preprocessing survive restarts.
-            num_workers: worker threads executing requests.
+                makes preprocessing survive restarts — and, in process
+                mode, lets every shard warm-start from the same
+                directory instead of rebuilding.
+            workers: executor width — worker threads in thread mode,
+                worker *processes* (shards) in process mode.  Default 4.
             queue_size: bound on queued (not yet running) requests; a full
                 queue rejects submissions with
                 :class:`~repro.errors.ServiceOverloaded`.
             default_scheduler: scheduling policy for requests that do not
                 name one.
-            default_time_limit: per-round budget (seconds) for requests
+            default_deadline_s: per-round budget (seconds) for requests
                 that do not carry their own.
             limits: candidate-generation bounds applied to every request.
             refresh_artifacts: resolve bundles through
@@ -260,14 +536,47 @@ class DiscoveryService:
                 :meth:`ArtifactStore.get`, so a database that grew by
                 appends between requests is caught up by folding the
                 delta into its cached bundle rather than preprocessing
-                from scratch (see ``docs/incremental.md``).
+                from scratch (see ``docs/incremental.md``).  The flag
+                propagates to every shard process.
+            shard_mode: ``"thread"`` (default) or ``"process"``.  Process
+                mode shards the databases across long-lived worker
+                processes and ships requests to them as versioned JSON
+                frames, sidestepping the GIL for the pure-Python
+                discovery work.
+            start_method: multiprocessing start method for process mode
+                (``"fork"``, ``"spawn"``, ``"forkserver"``; platform
+                default when ``None``).  Ignored in thread mode.
+            replication: in process mode, how many shards hold each
+                database.  ``None`` (default) replicates every database
+                on every shard — maximum throughput, since any shard can
+                serve any request.  Lower values partition the databases
+                (memory-bounded sharding); requests are then routed only
+                to owning shards.
+            num_workers: deprecated alias for ``workers``.
+            default_time_limit: deprecated alias for ``default_deadline_s``.
         """
-        if num_workers < 1:
-            raise ServiceError("num_workers must be at least 1")
+        workers = _deprecated_kwarg(
+            workers, num_workers, "workers", "num_workers"
+        )
+        default_deadline_s = _deprecated_kwarg(
+            default_deadline_s, default_time_limit,
+            "default_deadline_s", "default_time_limit",
+        )
+        if workers is None:
+            workers = 4
+        if default_deadline_s is None:
+            default_deadline_s = DEFAULT_TIME_LIMIT_SECONDS
+        if workers < 1:
+            raise ServiceError("workers must be at least 1")
         if queue_size < 1:
             raise ServiceError("queue_size must be at least 1")
-        if default_time_limit <= 0:
-            raise ServiceError("default_time_limit must be positive")
+        if default_deadline_s <= 0:
+            raise ServiceError("default_deadline_s must be positive")
+        if shard_mode not in _SHARD_MODES:
+            raise ServiceError(
+                f"unknown shard_mode {shard_mode!r}; expected one of "
+                f"{_SHARD_MODES}"
+            )
         if databases is None and loaders is None:
             from repro.datasets import _LOADERS
 
@@ -276,22 +585,24 @@ class DiscoveryService:
         self._loaders: dict[str, Callable[[], Database]] = dict(loaders or {})
         self._database_lock = threading.Lock()
         self.store = store if store is not None else ArtifactStore()
-        self._num_workers = num_workers
-        self._queue: "queue.Queue[Optional[DiscoveryTicket]]" = queue.Queue(
-            maxsize=queue_size
-        )
+        self._workers_count = workers
+        self._queue = _TicketQueue(maxsize=queue_size)
         self._default_scheduler = default_scheduler
-        self._default_time_limit = default_time_limit
+        self._default_deadline_s = default_deadline_s
         self._limits = limits
         self._refresh_artifacts = refresh_artifacts
+        self._shard_mode = shard_mode
+        self._start_method = start_method
+        self._replication = replication
+        self._assignment = None
+        self._pool = None
         self._workers: list[threading.Thread] = []
         self._started = False
         self._shutdown = False
         self._state_lock = threading.Lock()
         # submit() registers itself here before enqueueing; shutdown() waits
-        # for the count to hit zero before pushing the worker-stop sentinels,
-        # so a ticket can never land in the queue behind a sentinel (where
-        # no worker would ever resolve it).
+        # for the count to hit zero before closing the queue, so a ticket
+        # can never land in a queue no worker will drain.
         self._pending_submits = 0
         self._no_pending_submits = threading.Condition(self._state_lock)
         self._metrics_lock = threading.Lock()
@@ -312,21 +623,56 @@ class DiscoveryService:
         self._latency_max = 0.0
         self._validation_batches = 0
         self._batched_outcomes = 0
+        self._shard_served: dict[int, int] = {}
+        self._shard_artifacts: dict[int, dict] = {}
         self._request_ids = itertools.count(1)
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
+    @property
+    def shard_mode(self) -> str:
+        """``"thread"`` or ``"process"``."""
+        return self._shard_mode
+
     def start(self) -> "DiscoveryService":
-        """Start the worker pool (idempotent)."""
+        """Start the executor (idempotent).
+
+        In process mode this spawns the shard processes, each of which
+        warm-starts its owned databases' artifacts (from the store's
+        ``persist_dir`` when available) before serving.
+        """
         with self._state_lock:
             if self._shutdown:
                 raise ServiceError("the service has been shut down")
             if self._started:
                 return self
-            for worker_index in range(self._num_workers):
+            if self._shard_mode == "process":
+                from repro.service.shards import (
+                    ShardAssignment,
+                    ShardProcessPool,
+                )
+
+                self._assignment = ShardAssignment(
+                    self.available_databases(),
+                    self._workers_count,
+                    replication=self._replication,
+                )
+                self._pool = ShardProcessPool(
+                    assignment=self._assignment,
+                    databases=self._databases,
+                    loaders=self._loaders,
+                    persist_dir=self.store.persist_dir,
+                    default_scheduler=self._default_scheduler,
+                    limits=self._limits,
+                    refresh_artifacts=self._refresh_artifacts,
+                    start_method=self._start_method,
+                )
+                self._pool.start()
+            for worker_index in range(self._workers_count):
                 worker = threading.Thread(
                     target=self._worker_loop,
+                    args=(worker_index,),
                     name=f"discovery-worker-{worker_index}",
                     daemon=True,
                 )
@@ -338,7 +684,8 @@ class DiscoveryService:
     def shutdown(self, wait: bool = True) -> None:
         """Stop accepting requests and (optionally) join the workers.
 
-        Queued requests are drained and executed before the workers exit.
+        Queued requests are drained and executed before the workers exit;
+        shard processes are then shut down cleanly.
         """
         with self._state_lock:
             if self._shutdown:
@@ -348,11 +695,12 @@ class DiscoveryService:
             while self._pending_submits:
                 self._no_pending_submits.wait()
         if started:
-            for _ in self._workers:
-                self._queue.put(None)
+            self._queue.close()
             if wait:
                 for worker in self._workers:
                     worker.join()
+            if self._pool is not None:
+                self._pool.shutdown(wait=wait)
 
     def __enter__(self) -> "DiscoveryService":
         return self.start()
@@ -416,20 +764,23 @@ class DiscoveryService:
                 f"{self.available_databases()}"
             )
         budget = (
-            request.time_limit
-            if request.time_limit is not None
-            else self._default_time_limit
+            request.deadline_s
+            if request.deadline_s is not None
+            else self._default_deadline_s
         )
         if budget <= 0:
-            raise ServiceError("a request's time_limit must be positive")
+            raise ServiceError("a request's deadline_s must be positive")
         if request.request_id is None:
             request = DiscoveryRequest(
                 database=request.database,
                 spec=request.spec,
                 scheduler=request.scheduler,
-                time_limit=request.time_limit,
+                deadline_s=request.deadline_s,
                 request_id=f"req-{next(self._request_ids)}",
             )
+        owners = None
+        if self._assignment is not None:
+            owners = self._assignment.owners(request.database)
         ticket = DiscoveryTicket(request)
         with self._state_lock:
             if self._shutdown:
@@ -437,7 +788,7 @@ class DiscoveryService:
             self._pending_submits += 1
         try:
             try:
-                self._queue.put(ticket, block=block, timeout=timeout)
+                self._queue.put(ticket, owners, block=block, timeout=timeout)
             except queue.Full:
                 with self._metrics_lock:
                     self._counters["rejected"] += 1
@@ -471,22 +822,68 @@ class DiscoveryService:
     def execute(self, request: DiscoveryRequest) -> DiscoveryResponse:
         """Run one request synchronously on the calling thread.
 
-        This is the single-threaded baseline path (no queue, no workers);
+        This is the single-threaded baseline path (no queue, no workers,
+        no shards — even in process mode it runs in the calling process);
         it still shares the artifact store, so repeated calls warm-start.
         """
         request_id = request.request_id or f"req-{next(self._request_ids)}"
         budget = (
-            request.time_limit
-            if request.time_limit is not None
-            else self._default_time_limit
+            request.deadline_s
+            if request.deadline_s is not None
+            else self._default_deadline_s
         )
-        return self._run(request, request_id, budget, queued_seconds=0.0)
+        return _execute_round(
+            self.database,
+            self.store,
+            request,
+            request_id,
+            budget,
+            queued_seconds=0.0,
+            default_scheduler=self._default_scheduler,
+            limits=self._limits,
+            refresh_artifacts=self._refresh_artifacts,
+        )
+
+    def refresh_shards(self) -> dict:
+        """Propagate an artifact refresh to the executor.
+
+        In thread mode this refreshes the shared store's bundle for every
+        currently loaded database.  In process mode every shard is asked
+        to refresh the bundles it owns (each against its own copy of the
+        data).  Returns ``{shard_id: [database, ...]}`` of refreshed
+        names (thread mode reports shard ``-1``).
+        """
+        if self._pool is not None:
+            refreshed = {}
+            for shard_id, info in self._pool.refresh().items():
+                delta = info.get("artifacts_delta")
+                if delta:
+                    with self._metrics_lock:
+                        _merge_counts(
+                            self._shard_artifacts.setdefault(shard_id, {}),
+                            delta,
+                        )
+                refreshed[shard_id] = info.get("databases", [])
+            return refreshed
+        with self._database_lock:
+            loaded = list(self._databases.values())
+        refreshed = []
+        for database in loaded:
+            self.store.refresh(database)
+            refreshed.append(database.name)
+        return {-1: refreshed}
 
     # ------------------------------------------------------------------
     # Metrics
     # ------------------------------------------------------------------
     def metrics(self) -> ServiceMetrics:
-        """A consistent snapshot of counters and latency statistics."""
+        """A consistent snapshot of counters and latency statistics.
+
+        In process mode, ``shards`` breaks the artifact counters down per
+        shard (accumulated from the deltas each worker process reports
+        with its responses) and ``artifacts`` is their element-wise sum —
+        the merged totals always equal the sum over shards.
+        """
         with self._metrics_lock:
             ordered = sorted(self._latencies)
             snapshot = ServiceMetrics(
@@ -514,24 +911,36 @@ class DiscoveryService:
                 snapshot.latency_p95_seconds = ordered[
                     min(len(ordered) - 1, int(len(ordered) * 0.95))
                 ]
-        snapshot.artifacts = self.store.stats.as_dict()
+            shard_ids = sorted(set(self._shard_served) | set(self._shard_artifacts))
+            snapshot.shards = {
+                shard_id: {
+                    "served": self._shard_served.get(shard_id, 0),
+                    "artifacts": _merge_counts(
+                        {}, self._shard_artifacts.get(shard_id, {})
+                    ),
+                }
+                for shard_id in shard_ids
+            }
+        if self._shard_mode == "process":
+            merged = ArtifactStoreStats().as_dict()
+            for shard in snapshot.shards.values():
+                _merge_counts(merged, shard["artifacts"])
+            snapshot.artifacts = merged
+        else:
+            snapshot.artifacts = self.store.stats.as_dict()
         return snapshot
 
     # ------------------------------------------------------------------
     # Worker internals
     # ------------------------------------------------------------------
-    def _worker_loop(self) -> None:
+    def _worker_loop(self, worker_id: int) -> None:
         while True:
-            ticket = self._queue.get()
+            ticket = self._queue.get(worker_id)
             if ticket is None:
-                self._queue.task_done()
                 return
-            try:
-                self._serve_ticket(ticket)
-            finally:
-                self._queue.task_done()
+            self._serve_ticket(ticket, worker_id)
 
-    def _serve_ticket(self, ticket: DiscoveryTicket) -> None:
+    def _serve_ticket(self, ticket: DiscoveryTicket, worker_id: int) -> None:
         request = ticket.request
         request_id = request.request_id or "?"
         queued_seconds = time.monotonic() - ticket.submitted_at
@@ -545,14 +954,16 @@ class DiscoveryService:
             self._finish(ticket, response)
             return
         budget = (
-            request.time_limit
-            if request.time_limit is not None
-            else self._default_time_limit
+            request.deadline_s
+            if request.deadline_s is not None
+            else self._default_deadline_s
         )
         remaining = budget - queued_seconds
         if remaining <= 0:
             # The round's interactive budget was consumed by queueing:
-            # answer with a structured timeout instead of running.
+            # answer with a structured timeout instead of running.  In
+            # process mode this check runs *before* dispatch, so an
+            # expired request never costs a round of IPC.
             stats = DiscoveryStats(
                 scheduler_name=request.scheduler or self._default_scheduler
             )
@@ -571,7 +982,15 @@ class DiscoveryService:
         with self._metrics_lock:
             self._in_flight += 1
         try:
-            response = self._run(request, request_id, remaining, queued_seconds)
+            if self._pool is not None:
+                response, delta = self._pool.run(
+                    worker_id, request, remaining, queued_seconds, request_id
+                )
+                self._note_shard_result(worker_id, delta)
+            else:
+                response = self._run(
+                    request, request_id, remaining, queued_seconds
+                )
         finally:
             with self._metrics_lock:
                 self._in_flight -= 1
@@ -584,54 +1003,27 @@ class DiscoveryService:
         budget: float,
         queued_seconds: float,
     ) -> DiscoveryResponse:
-        started = time.monotonic()
-        try:
-            database = self.database(request.database)
-            if self._refresh_artifacts:
-                bundle = self.store.refresh(database)
-            else:
-                bundle = self.store.get(database)
-            engine = Prism.from_artifacts(
-                bundle,
-                scheduler=request.scheduler or self._default_scheduler,
-                time_limit=budget,
-                limits=self._limits,
-            )
-            result = engine.discover(request.spec, raise_on_timeout=True)
-        except DiscoveryTimeout as exc:
-            partial = exc.partial_result
-            if partial is None:
-                stats = DiscoveryStats(
-                    scheduler_name=request.scheduler or self._default_scheduler
-                )
-                stats.timed_out = True
-                partial = DiscoveryResult(stats=stats)
-            return DiscoveryResponse(
-                request_id=request_id,
-                database=request.database,
-                status="timeout",
-                result=partial,
-                error=str(exc),
-                queued_seconds=queued_seconds,
-                execution_seconds=time.monotonic() - started,
-            )
-        except ReproError as exc:
-            return DiscoveryResponse(
-                request_id=request_id,
-                database=request.database,
-                status="error",
-                error=f"{type(exc).__name__}: {exc}",
-                queued_seconds=queued_seconds,
-                execution_seconds=time.monotonic() - started,
-            )
-        return DiscoveryResponse(
-            request_id=request_id,
-            database=request.database,
-            status="ok",
-            result=result,
-            queued_seconds=queued_seconds,
-            execution_seconds=time.monotonic() - started,
+        return _execute_round(
+            self.database,
+            self.store,
+            request,
+            request_id,
+            budget,
+            queued_seconds,
+            default_scheduler=self._default_scheduler,
+            limits=self._limits,
+            refresh_artifacts=self._refresh_artifacts,
         )
+
+    def _note_shard_result(self, shard_id: int, delta: Optional[dict]) -> None:
+        with self._metrics_lock:
+            self._shard_served[shard_id] = (
+                self._shard_served.get(shard_id, 0) + 1
+            )
+            if delta:
+                _merge_counts(
+                    self._shard_artifacts.setdefault(shard_id, {}), delta
+                )
 
     def _finish(self, ticket: DiscoveryTicket, response: DiscoveryResponse) -> None:
         latency = time.monotonic() - ticket.submitted_at

@@ -78,7 +78,9 @@ def request_from_dict(entry: Mapping[str, Any]) -> DiscoveryRequest:
     Expected keys: ``database`` (str), ``columns`` (int), ``samples``
     (list of rows, each a list of cell texts; empty text means an
     unconstrained cell), ``metadata`` (mapping of column index → text),
-    and optionally ``scheduler``, ``time_limit`` and ``request_id``.
+    and optionally ``scheduler``, ``deadline_s`` and ``request_id``.
+    The pre-v1 key ``time_limit`` is still honored as an alias for
+    ``deadline_s``.
     """
     try:
         database = entry["database"]
@@ -90,12 +92,14 @@ def request_from_dict(entry: Mapping[str, Any]) -> DiscoveryRequest:
         entry.get("samples", ()),
         {int(key): value for key, value in (entry.get("metadata") or {}).items()},
     )
-    time_limit = entry.get("time_limit")
+    deadline_s = entry.get("deadline_s")
+    if deadline_s is None:
+        deadline_s = entry.get("time_limit")
     return DiscoveryRequest(
         database=database,
         spec=spec,
         scheduler=entry.get("scheduler"),
-        time_limit=float(time_limit) if time_limit is not None else None,
+        deadline_s=float(deadline_s) if deadline_s is not None else None,
         request_id=entry.get("request_id"),
     )
 
@@ -104,6 +108,7 @@ def demo_requests(
     databases: Optional[Sequence[str]] = None,
     rounds: int = 1,
     scheduler: Optional[str] = None,
+    deadline_s: Optional[float] = None,
     time_limit: Optional[float] = None,
 ) -> list[DiscoveryRequest]:
     """The built-in mixed workload: one round per template per repetition.
@@ -113,8 +118,19 @@ def demo_requests(
             omitted).
         rounds: how many times to repeat the template set.
         scheduler: scheduling policy stamped on every request.
-        time_limit: per-round budget stamped on every request.
+        deadline_s: per-round budget stamped on every request.
+        time_limit: deprecated alias for ``deadline_s``.
     """
+    if time_limit is not None:
+        import warnings
+
+        warnings.warn(
+            "demo_requests(time_limit=...) is deprecated; use deadline_s",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if deadline_s is None:
+            deadline_s = time_limit
     if rounds < 1:
         raise ServiceError("rounds must be at least 1")
     wanted = set(databases) if databases is not None else None
@@ -137,7 +153,7 @@ def demo_requests(
                     database=database,
                     spec=spec,
                     scheduler=scheduler,
-                    time_limit=time_limit,
+                    deadline_s=deadline_s,
                     request_id=f"demo-{database}-{round_index + 1}",
                 )
             )

@@ -25,18 +25,48 @@ import json
 import sys
 from typing import Optional, Sequence
 
-from repro.datasets import available_databases, load_database_by_name
-from repro.discovery.engine import DEFAULT_TIME_LIMIT_SECONDS
-from repro.errors import ReproError
-from repro.service import (
+from repro.api import (
     ArtifactStore,
     DiscoveryService,
     demo_requests,
     request_from_dict,
 )
+from repro.datasets import available_databases, load_database_by_name
+from repro.discovery.engine import DEFAULT_TIME_LIMIT_SECONDS
+from repro.errors import ReproError
 from repro.workbench.session import PrismSession
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_deadline_arguments(sub_parser: argparse.ArgumentParser) -> None:
+    """The canonical ``--deadline-s`` flag plus its deprecated spelling."""
+    sub_parser.add_argument(
+        "--deadline-s",
+        dest="deadline_s",
+        type=float,
+        default=None,
+        help="per-round budget in seconds (queue wait counts against it); "
+             f"default {DEFAULT_TIME_LIMIT_SECONDS:g}",
+    )
+    sub_parser.add_argument(
+        "--time-limit",
+        dest="time_limit",
+        type=float,
+        default=None,
+        help="deprecated alias for --deadline-s",
+    )
+
+
+def _resolve_deadline(args: argparse.Namespace) -> float:
+    if args.time_limit is not None:
+        print("warning: --time-limit is deprecated; use --deadline-s",
+              file=sys.stderr)
+        if args.deadline_s is None:
+            return args.time_limit
+    if args.deadline_s is None:
+        return DEFAULT_TIME_LIMIT_SECONDS
+    return args.deadline_s
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -73,8 +103,7 @@ def build_parser() -> argparse.ArgumentParser:
         )
         sub_parser.add_argument("--scheduler", default="bayesian",
                                 choices=["naive", "filter", "bayesian", "optimal"])
-        sub_parser.add_argument("--time-limit", type=float,
-                                default=DEFAULT_TIME_LIMIT_SECONDS)
+        _add_deadline_arguments(sub_parser)
 
     search_parser = subparsers.add_parser(
         "search", help="run one round of schema mapping discovery"
@@ -111,7 +140,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="run a batch of discovery requests through the concurrent service",
     )
     serve_parser.add_argument("--workers", type=int, default=4,
-                              help="worker threads in the service pool")
+                              help="executor width: worker threads, or worker "
+                                   "processes with --shard-mode process")
+    serve_parser.add_argument(
+        "--shard-mode",
+        dest="shard_mode",
+        choices=["thread", "process"],
+        default="thread",
+        help="'thread' shares one in-process store (GIL-bound); 'process' "
+             "shards the databases across long-lived worker processes "
+             "that exchange versioned JSON messages",
+    )
+    serve_parser.add_argument(
+        "--start-method",
+        dest="start_method",
+        choices=["fork", "spawn", "forkserver"],
+        default=None,
+        help="multiprocessing start method for --shard-mode process "
+             "(platform default when omitted)",
+    )
+    serve_parser.add_argument(
+        "--replication",
+        type=int,
+        default=None,
+        help="with --shard-mode process: how many shards hold each "
+             "database (default: all of them)",
+    )
     serve_parser.add_argument("--queue-size", type=int, default=64,
                               help="bound on queued requests (backpressure)")
     serve_parser.add_argument(
@@ -125,10 +179,7 @@ def build_parser() -> argparse.ArgumentParser:
                               help="repetitions of the built-in demo workload")
     serve_parser.add_argument("--scheduler", default="bayesian",
                               choices=["naive", "filter", "bayesian", "optimal"])
-    serve_parser.add_argument("--time-limit", type=float,
-                              default=DEFAULT_TIME_LIMIT_SECONDS,
-                              help="per-request budget in seconds "
-                                   "(queue wait counts against it)")
+    _add_deadline_arguments(serve_parser)
     serve_parser.add_argument(
         "--artifact-dir",
         default=None,
@@ -182,7 +233,7 @@ def _describe_session(args: argparse.Namespace) -> Optional[PrismSession]:
         num_samples=num_samples,
         use_metadata=True,
         scheduler=args.scheduler,
-        time_limit=args.time_limit,
+        time_limit=_resolve_deadline(args),
     )
     for row, sample_text in enumerate(args.sample):
         cells = sample_text.split(";")
@@ -285,11 +336,14 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
     try:
         service = DiscoveryService(
             store=store,
-            num_workers=args.workers,
+            workers=args.workers,
             queue_size=args.queue_size,
             default_scheduler=args.scheduler,
-            default_time_limit=args.time_limit,
+            default_deadline_s=_resolve_deadline(args),
             refresh_artifacts=args.refresh,
+            shard_mode=args.shard_mode,
+            start_method=args.start_method,
+            replication=args.replication,
         )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -314,10 +368,18 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
             failures += 1
         print(line)
     artifacts = metrics.artifacts
+    worker_noun = "shard" if args.shard_mode == "process" else "worker"
     print(
-        f"served {metrics.completed} requests with {args.workers} workers: "
+        f"served {metrics.completed} requests with {args.workers} "
+        f"{worker_noun}s ({args.shard_mode} mode): "
         f"{metrics.ok} ok, {metrics.timeouts} timeout, {metrics.errors} error"
     )
+    if metrics.shards:
+        per_shard = ", ".join(
+            f"shard {shard_id}: {info['served']} served"
+            for shard_id, info in sorted(metrics.shards.items())
+        )
+        print(f"shard breakdown: {per_shard}")
     print(
         f"artifact store: {artifacts['builds']} builds, "
         f"{artifacts['hits']} cache hits, {artifacts['disk_loads']} disk loads"

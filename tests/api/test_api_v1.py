@@ -1,0 +1,150 @@
+"""The v1 public API surface: one import point, working deprecation shims.
+
+``repro.api`` is the stable façade; deep imports from ``repro.service``
+and ``repro.workbench`` keep working for one release behind
+:class:`DeprecationWarning` shims, and the pre-v1 keyword names
+(``time_limit``, ``num_workers``, ``default_time_limit``) stay accepted
+as warned aliases of the canonical ``deadline_s``/``workers``.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+import repro
+import repro.api
+
+
+class TestV1Surface:
+    def test_every_advertised_name_is_importable(self):
+        for name in repro.api.__all__:
+            assert hasattr(repro.api, name), f"repro.api.{name} missing"
+
+    def test_core_names_are_advertised(self):
+        assert {
+            "API_VERSION",
+            "ArtifactStore",
+            "DiscoveryRequest",
+            "DiscoveryResponse",
+            "DiscoveryService",
+            "DiscoveryTicket",
+            "MappingSpec",
+            "Prism",
+            "PrismSession",
+            "ShardAssignment",
+            "WireFormatError",
+            "demo_requests",
+            "request_from_dict",
+        } <= set(repro.api.__all__)
+        assert repro.api.API_VERSION == 1
+
+    def test_facade_exposes_the_implementation_classes(self):
+        from repro.service.service import DiscoveryService
+        from repro.workbench.session import PrismSession
+
+        assert repro.api.DiscoveryService is DiscoveryService
+        assert repro.api.PrismSession is PrismSession
+
+    def test_top_level_package_reexports_the_service_types(self):
+        for name in ("DiscoveryRequest", "DiscoveryResponse",
+                     "DiscoveryService", "DiscoveryTicket",
+                     "ServiceMetrics", "ArtifactStore", "PrismSession"):
+            assert getattr(repro, name) is getattr(repro.api, name)
+
+    def test_importing_the_facade_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            _ = repro.api.DiscoveryService
+            _ = repro.DiscoveryRequest
+
+
+class TestDeepImportShims:
+    def test_repro_service_attribute_access_warns_but_works(self):
+        import repro.service as legacy
+
+        with pytest.warns(DeprecationWarning, match="repro.api"):
+            service_cls = legacy.DiscoveryService
+        assert service_cls is repro.api.DiscoveryService
+        with pytest.warns(DeprecationWarning):
+            assert legacy.ArtifactStore is repro.api.ArtifactStore
+        with pytest.warns(DeprecationWarning):
+            assert legacy.demo_requests is repro.api.demo_requests
+
+    def test_repro_workbench_attribute_access_warns_but_works(self):
+        import repro.workbench as legacy
+
+        with pytest.warns(DeprecationWarning, match="repro.api"):
+            session_cls = legacy.PrismSession
+        assert session_cls is repro.api.PrismSession
+
+    def test_shimmed_names_still_appear_in_dir(self):
+        import repro.service as legacy
+
+        listing = dir(legacy)
+        assert "DiscoveryService" in listing
+        assert "ArtifactStore" in listing
+
+    def test_unknown_attribute_still_raises_attribute_error(self):
+        import repro.service as legacy
+
+        with pytest.raises(AttributeError):
+            _ = legacy.NoSuchThing
+
+
+class TestKeywordAliases:
+    def _spec(self):
+        spec = repro.api.MappingSpec(1)
+        spec.add_sample_cells([repro.api.parse_value_constraint("x")])
+        return spec
+
+    def test_request_time_limit_alias_warns_and_maps(self):
+        with pytest.warns(DeprecationWarning, match="deadline_s"):
+            request = repro.api.DiscoveryRequest(
+                database="nba", spec=self._spec(), time_limit=7.0
+            )
+        assert request.deadline_s == 7.0
+        with pytest.warns(DeprecationWarning, match="deadline_s"):
+            assert request.time_limit == 7.0
+
+    def test_canonical_request_kwargs_do_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            request = repro.api.DiscoveryRequest(
+                database="nba", spec=self._spec(), deadline_s=7.0
+            )
+        assert request.deadline_s == 7.0
+
+    def test_service_constructor_aliases_warn_and_map(self, company_db):
+        with pytest.warns(DeprecationWarning, match="workers"):
+            svc = repro.api.DiscoveryService(
+                databases={"company": company_db}, num_workers=2
+            )
+        try:
+            assert svc._workers_count == 2
+        finally:
+            svc.shutdown()
+        with pytest.warns(DeprecationWarning, match="default_deadline_s"):
+            svc = repro.api.DiscoveryService(
+                databases={"company": company_db}, default_time_limit=9.0
+            )
+        try:
+            assert svc._default_deadline_s == 9.0
+        finally:
+            svc.shutdown()
+
+    def test_demo_requests_time_limit_alias_warns(self):
+        with pytest.warns(DeprecationWarning, match="deadline_s"):
+            requests = repro.api.demo_requests(time_limit=3.0)
+        assert all(request.deadline_s == 3.0 for request in requests)
+
+    def test_request_from_dict_accepts_both_deadline_spellings(self):
+        base = {
+            "database": "nba",
+            "columns": 1,
+            "samples": [["Lakers"]],
+        }
+        canonical = repro.api.request_from_dict({**base, "deadline_s": 4})
+        legacy = repro.api.request_from_dict({**base, "time_limit": 4})
+        assert canonical.deadline_s == legacy.deadline_s == 4.0

@@ -216,8 +216,8 @@ class TestConfigurationValidation:
             )
 
     def test_nonpositive_request_budget_rejected(self, service):
-        with pytest.raises(ServiceError, match="time_limit"):
-            service.submit(_company_request(time_limit=0))
+        with pytest.raises(ServiceError, match="deadline_s"):
+            service.submit(_company_request(deadline_s=0))
 
     def test_default_service_serves_bundled_databases(self):
         svc = DiscoveryService()
