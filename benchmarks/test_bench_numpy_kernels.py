@@ -1,0 +1,255 @@
+"""NumPy kernel backend vs pure-Python store on the exists hot path.
+
+The e3/e4 experiments are dominated by existence probes: filter
+validation issues thousands of ``exists``/``exists_batch`` calls whose
+cost is pushdown scans plus join-key probing.  This harness measures
+exactly that regime on both storage backends — the same deterministic
+probe workload (single probes and batches, true and false outcomes,
+joins that fail *in the join* rather than in pushdown) over a 3-table
+chain built identically on each backend — and asserts
+
+* probe outcomes and the full :class:`ExecutionStats` counter set are
+  bit-for-bit identical across backends (the kernel path is
+  accounting-transparent by design), and
+* the NumPy backend decides the workload **>= 5x faster** than the
+  pure-Python store,
+
+then writes the comparison to ``benchmarks/reports/numpy_kernels.txt``.
+
+The chain is built so join reachability is a congruence: ``T2`` row
+``j`` reaches ``T0`` row ``j mod 2000``, ``T0``'s label classes are
+``id mod 40`` and ``T2``'s are ``id mod 500``, so a (T0-label, T2-label)
+probe is satisfiable iff the two class indexes agree mod
+``gcd(40, 500) = 20`` — the workload's outcomes are exact and its false
+probes carry non-empty selections on both endpoints, forcing real join
+work instead of an early pushdown exit.
+
+A tiny ``smoke`` benchmark (both backends, one batch + a text-text
+edge, sub-second) runs in CI so kernel regressions fail fast without
+the full workload.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import write_report
+from repro.dataset import Column, Database, DataType
+from repro.dataset.schema import ColumnRef, ForeignKey
+from repro.evaluation.reporting import format_table
+from repro.query.executor import BatchProbe, ExecutionStats, Executor
+from repro.query.pj_query import ProjectJoinQuery
+from repro.storage import make_backend
+
+_BACKENDS = ("python", "numpy")
+_RESULTS: dict[str, dict] = {}
+
+# Chain geometry (see the module docstring for the congruence argument).
+_T0_ROWS = 2_000
+_T1_ROWS = 20_000
+_T2_ROWS = 40_000
+_T0_CLASSES = 40
+_T2_CLASSES = 500
+
+
+def _build_chain(kind: str) -> Database:
+    """The benchmark chain T2 -> T1 -> T0 on the requested backend."""
+    database = Database(f"kernelbench-{kind}", backend=make_backend(kind))
+    t0 = database.create_table(
+        "T0", [Column("id", DataType.INT, primary_key=True),
+               Column("label", DataType.TEXT)]
+    )
+    t1 = database.create_table(
+        "T1", [Column("id", DataType.INT, primary_key=True),
+               Column("parent_id", DataType.INT)]
+    )
+    t2 = database.create_table(
+        "T2", [Column("id", DataType.INT, primary_key=True),
+               Column("parent_id", DataType.INT),
+               Column("label", DataType.TEXT)]
+    )
+    t0.insert_many([(i, f"g{i % _T0_CLASSES}") for i in range(_T0_ROWS)])
+    t1.insert_many([(i, i % _T0_ROWS) for i in range(_T1_ROWS)])
+    t2.insert_many(
+        [(i, i % _T1_ROWS, f"h{i % _T2_CLASSES}") for i in range(_T2_ROWS)]
+    )
+    database.link("T1.parent_id", "T0.id")
+    database.link("T2.parent_id", "T1.id")
+    return database
+
+
+def _probe_query() -> ProjectJoinQuery:
+    return ProjectJoinQuery(
+        (ColumnRef("T0", "label"), ColumnRef("T2", "label")),
+        (ForeignKey("T1", "parent_id", "T0", "id"),
+         ForeignKey("T2", "parent_id", "T1", "id")),
+    )
+
+
+def _workload() -> tuple[list[dict], list[list[BatchProbe]]]:
+    """Deterministic single probes plus batches, mixed true/false.
+
+    ``(a, b)`` pairs walk both congruence classes: satisfiable iff
+    ``a % 20 == b % 20``, so roughly one probe in twenty is true and
+    every false probe fails inside the join.
+    """
+    query = _probe_query()
+
+    def predicates(a: int, b: int) -> dict:
+        ga, hb = f"g{a}", f"h{b}"
+        return {0: lambda v: v == ga, 1: lambda v: v == hb}
+
+    singles = [
+        predicates(a, (3 * a + offset) % _T2_CLASSES)
+        for offset in (0, 1, 7, 20)
+        for a in range(0, _T0_CLASSES, 5)
+    ]
+    batches = [
+        [
+            BatchProbe(query, predicates(a, (5 * a + offset) % _T2_CLASSES))
+            for a in range(0, _T0_CLASSES, 4)
+        ]
+        for offset in (0, 2, 11, 20)
+    ]
+    return singles, batches
+
+
+def _run_workload(database: Database) -> tuple[list[bool], ExecutionStats]:
+    query = _probe_query()
+    singles, batches = _workload()
+    executor = Executor(database)
+    outcomes = [
+        executor.exists(query, cell_predicates=cp) for cp in singles
+    ]
+    for batch in batches:
+        outcomes.extend(executor.exists_batch(batch))
+    return outcomes, executor.stats
+
+
+@pytest.fixture(scope="module")
+def chain_dbs():
+    """The identical chain on both backends (join indexes left cold)."""
+    return {kind: _build_chain(kind) for kind in _BACKENDS}
+
+
+@pytest.mark.parametrize("kind", _BACKENDS)
+def test_numpy_kernels_e3e4_workload(benchmark, chain_dbs, kind):
+    outcomes, stats = benchmark.pedantic(
+        _run_workload,
+        args=(chain_dbs[kind],),
+        rounds=2,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    _RESULTS[kind] = {
+        "outcomes": outcomes,
+        "stats": stats,
+        "seconds": benchmark.stats.stats.min,
+    }
+    benchmark.extra_info["backend"] = kind
+    benchmark.extra_info["true_probes"] = sum(outcomes)
+
+
+def test_numpy_kernels_report(benchmark, chain_dbs):
+    """Join both backends into the report and assert the acceptance bar."""
+    import time
+
+    for kind in _BACKENDS:
+        if kind not in _RESULTS:
+            started = time.perf_counter()
+            outcomes, stats = _run_workload(chain_dbs[kind])
+            _RESULTS[kind] = {
+                "outcomes": outcomes,
+                "stats": stats,
+                "seconds": time.perf_counter() - started,
+            }
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    python, numpy = _RESULTS["python"], _RESULTS["numpy"]
+
+    # Bit-for-bit identical probe outcomes and executor accounting.
+    assert numpy["outcomes"] == python["outcomes"]
+    assert numpy["stats"] == python["stats"]
+
+    speedup = python["seconds"] / numpy["seconds"]
+    table_rows = [
+        {
+            "backend": kind,
+            "seconds": round(_RESULTS[kind]["seconds"], 4),
+            "probes": len(_RESULTS[kind]["outcomes"]),
+            "true_probes": sum(_RESULTS[kind]["outcomes"]),
+            "rows_scanned": _RESULTS[kind]["stats"].rows_scanned,
+            "joins_performed": _RESULTS[kind]["stats"].joins_performed,
+        }
+        for kind in _BACKENDS
+    ]
+    table = format_table(
+        table_rows,
+        columns=["backend", "seconds", "probes", "true_probes",
+                 "rows_scanned", "joins_performed"],
+        title="Existence-probe hot path: python vs numpy backend "
+              f"(e3/e4-style workload, {_T0_ROWS}/{_T1_ROWS}/{_T2_ROWS}-row "
+              "chain)",
+    )
+    summary = format_table(
+        [{
+            "speedup": f"{speedup:.1f}x",
+            "identical_outcomes": True,
+            "identical_stats": True,
+        }],
+        columns=["speedup", "identical_outcomes", "identical_stats"],
+        title="NumPy kernel summary (target: >=5x, bit-for-bit equality)",
+    )
+    write_report("numpy_kernels", table + "\n\n" + summary)
+
+    assert speedup >= 5.0, (
+        f"numpy backend only {speedup:.2f}x over the python store"
+    )
+
+
+# ----------------------------------------------------------------------
+# CI smoke: both backends, one batch + a text-text edge, sub-second.
+# ----------------------------------------------------------------------
+def _smoke_database(kind: str) -> Database:
+    database = Database(f"kernelsmoke-{kind}", backend=make_backend(kind))
+    left = database.create_table(
+        "L", [Column("k", DataType.TEXT), Column("v", DataType.INT)]
+    )
+    right = database.create_table(
+        "R", [Column("k", DataType.TEXT), Column("w", DataType.INT)]
+    )
+    left.insert_many([(f"k{i % 23}", i) for i in range(2_000)])
+    right.insert_many([(f"k{i % 29}", i * 3) for i in range(2_000)])
+    database.link("L.k", "R.k")
+    return database
+
+
+def test_numpy_kernels_smoke(benchmark):
+    """Both backends on one small text-joined workload, equal bit for bit."""
+    query = ProjectJoinQuery(
+        (ColumnRef("L", "v"), ColumnRef("R", "w")),
+        (ForeignKey("L", "k", "R", "k"),),
+    )
+    probes = [
+        BatchProbe(query, {0: (lambda bound: lambda v: v > bound)(b)})
+        for b in (10, 500, 1_500, 1_999)
+    ]
+
+    def run(kind: str):
+        database = _smoke_database(kind)
+        executor = Executor(database)
+        outcomes = [
+            executor.exists(query, cell_predicates=p.cell_predicates)
+            for p in probes
+        ]
+        outcomes.extend(executor.exists_batch(probes))
+        return outcomes, executor.stats, executor
+
+    python_outcomes, python_stats, __ = run("python")
+    numpy_outcomes, numpy_stats, numpy_executor = benchmark.pedantic(
+        run, args=("numpy",), rounds=1, iterations=1
+    )
+    assert numpy_outcomes == python_outcomes
+    assert numpy_stats == python_stats
+    # The numpy run must actually have taken the kernel path.
+    assert numpy_executor._edge_kernels

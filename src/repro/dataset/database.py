@@ -12,7 +12,7 @@ from typing import Iterable, Iterator, Optional, Sequence
 from repro.dataset.schema import Column, ColumnRef, ForeignKey
 from repro.dataset.table import Table
 from repro.errors import SchemaError
-from repro.storage import ColumnStore, StorageBackend
+from repro.storage import StorageBackend, default_backend
 
 __all__ = ["Database"]
 
@@ -21,10 +21,12 @@ class Database:
     """A named collection of tables connected by foreign keys.
 
     All tables created through :meth:`create_table` share one storage
-    backend (a :class:`~repro.storage.ColumnStore` unless another backend
-    is injected), so database-wide consumers — the executor's join-index
-    cache in particular — operate against a single physical store.  Tables
-    adopted via :meth:`add_table` keep whatever backend they were built on.
+    backend (:func:`~repro.storage.default_backend` — a
+    :class:`~repro.storage.ColumnStore` unless ``PRISM_STORAGE_BACKEND``
+    selects another — unless a backend is injected), so database-wide
+    consumers — the executor's join-index cache in particular — operate
+    against a single physical store.  Tables adopted via
+    :meth:`add_table` keep whatever backend they were built on.
     """
 
     def __init__(self, name: str, backend: Optional[StorageBackend] = None):
@@ -32,7 +34,7 @@ class Database:
             raise SchemaError("database name must be a non-empty string")
         self.name = name
         self._backend: StorageBackend = (
-            backend if backend is not None else ColumnStore()
+            backend if backend is not None else default_backend()
         )
         self._tables: dict[str, Table] = {}
         self._foreign_keys: list[ForeignKey] = []

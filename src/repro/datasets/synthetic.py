@@ -9,12 +9,13 @@ The generator is deterministic given its seed.
 from __future__ import annotations
 
 import random
-from typing import Literal
+from typing import Literal, Optional
 
 from repro.dataset.database import Database
 from repro.dataset.schema import Column
 from repro.dataset.types import DataType
 from repro.errors import WorkloadError
+from repro.storage import StorageBackend
 
 __all__ = ["generate_synthetic_database"]
 
@@ -35,6 +36,7 @@ def generate_synthetic_database(
     topology: Topology = "chain",
     seed: int = 0,
     name: str = "synthetic",
+    backend: Optional[StorageBackend] = None,
 ) -> Database:
     """Generate a synthetic relational database.
 
@@ -51,13 +53,16 @@ def generate_synthetic_database(
             ``random`` (each table links to a random earlier table).
         seed: RNG seed controlling both structure and content.
         name: database name.
+        backend: storage backend for the generated tables (the process
+            default when omitted) — differential tests generate the same
+            seeded database once per backend under comparison.
     """
     if num_tables < 1:
         raise WorkloadError("num_tables must be at least 1")
     if rows_per_table < 1:
         raise WorkloadError("rows_per_table must be at least 1")
     rng = random.Random(seed)
-    database = Database(name)
+    database = Database(name, backend=backend)
 
     parents: dict[int, int] = {}
     for index in range(1, num_tables):

@@ -38,7 +38,14 @@ index-oriented:
   probe, terminating as soon as all are decided;
 * **an existence-memo cache** — ``exists()`` outcomes can be memoized
   under a caller-supplied canonical (query, predicate) signature and are
-  invalidated automatically when the database changes.
+  invalidated automatically when the database changes;
+* **array semijoin kernels on NumPy-backed tables** — when every table
+  of a probe lives in a backend exposing column array snapshots
+  (:class:`~repro.storage.numpy_store.NumpyColumnStore`), existence
+  probes — single and batched — are decided by a vectorized bottom-up
+  semijoin sweep (:mod:`repro.query.kernels`) instead of streaming
+  per-row assignments; outcomes and every :class:`ExecutionStats`
+  counter stay bit-for-bit identical to the generic path.
 
 Inner-join semantics follow SQL: NULL join keys never match.
 """
@@ -61,6 +68,11 @@ from repro.query.plan import (
 )
 from repro.query.planner import Planner
 
+try:
+    from repro.query import kernels as _kernels
+except ImportError:  # numpy unavailable — array fast paths stay off
+    _kernels = None
+
 __all__ = ["Executor", "ExecutionStats", "BatchProbe"]
 
 CellPredicate = Callable[[Any], bool]
@@ -72,6 +84,14 @@ _Selection = Optional[list[int]]
 # database cannot grow without bound; oldest entries are evicted first.
 MAX_EXISTS_MEMO_ENTRIES = 100_000
 MAX_PLAN_CACHE_ENTRIES = 10_000
+
+# Array semijoin kernels only pay off once tables have enough rows to
+# amortize the per-call array overhead; below this many rows in every
+# joined table the generic streaming path is used instead.  The two
+# routes produce identical outcomes and identical ExecutionStats, so the
+# crossover is purely a performance knob (tests pin it to 0 to force the
+# kernels onto arbitrarily small databases).
+KERNEL_MIN_ROWS = 256
 
 
 @dataclass
@@ -207,6 +227,10 @@ class Executor:
         self._plan_schema_version: Optional[int] = None
         self._exists_memo: dict[Any, bool] = {}
         self._memo_data_version: Optional[tuple[int, int, int]] = None
+        # Aligned edge kernels keyed by the probe step's column endpoints,
+        # revalidated by column-kernel identity (backends publish a fresh
+        # kernel after every append, so a stale edge can never be reused).
+        self._edge_kernels: dict[tuple, Any] = {}
 
     @property
     def database(self) -> Database:
@@ -269,16 +293,53 @@ class Executor:
                 Callers must guarantee the key fully determines the probe.
         """
         if cache_key is None:
-            return bool(self.execute(query, cell_predicates=cell_predicates, limit=1))
+            return self._exists_once(query, cell_predicates)
         memo = self._current_memo()
         cached = memo.get(cache_key)
         if cached is not None:
             self.stats.exists_cache_hits += 1
             return cached
         self.stats.exists_cache_misses += 1
-        outcome = bool(self.execute(query, cell_predicates=cell_predicates, limit=1))
+        outcome = self._exists_once(query, cell_predicates)
         self._memoize(memo, cache_key, outcome)
         return outcome
+
+    def _exists_once(
+        self,
+        query: ProjectJoinQuery,
+        cell_predicates: Optional[Mapping[int, CellPredicate]],
+    ) -> bool:
+        """Decide one existence probe (no memo).
+
+        Prefers the array semijoin kernel when every plan step's endpoint
+        columns expose array kernels; otherwise streams assignments and
+        stops at the first hit, exactly like ``execute(limit=1)``.  Both
+        routes account identically: the query and its pushdown scans via
+        :meth:`_prepare`, then per probe step one join-index hit/build
+        and one ``joins_performed``, then one ``rows_emitted`` iff the
+        probe holds.
+        """
+        prepared = self._prepare(query, cell_predicates)
+        if prepared is None:
+            return False
+        selections, plan = prepared
+        edges = self._kernel_edges(plan)
+        if edges is not None:
+            for step in plan.steps:
+                self._join_index(step.new_table, step.new_position)
+                self.stats.joins_performed += 1
+            masks = {
+                table: self._selection_mask(table, selection)
+                for table, selection in selections.items()
+            }
+            if _kernels.semijoin_exists(plan.start_table, plan.steps, edges, masks):
+                self.stats.rows_emitted += 1
+                return True
+            return False
+        for __ in self._assignments(selections, plan):
+            self.stats.rows_emitted += 1
+            return True
+        return False
 
     def exists_batch(self, probes: Sequence[BatchProbe]) -> list[bool]:
         """Decide many existence probes over one shared join structure.
@@ -352,7 +413,7 @@ class Executor:
             assert plan is not None
             self.stats.batch_executions += 1
             self.stats.batched_probes += len(survivors)
-            satisfied = self._run_batch(plan, [sets for __, sets in survivors])
+            satisfied = self._run_batch_any(plan, [sets for __, sets in survivors])
             for bit, (index, __) in enumerate(survivors):
                 outcomes[index] = bool(satisfied & (1 << bit))
 
@@ -532,6 +593,9 @@ class Executor:
         schema_version = self._database.schema_version
         if schema_version != self._plan_schema_version:
             self._plan_cache.clear()
+            # Column positions may have moved with the schema; edge
+            # kernels are keyed by position, so drop them too.
+            self._edge_kernels.clear()
             self._plan_schema_version = schema_version
         structure = join_prefix_key(query)
         plan = self._plan_cache.get(structure)
@@ -721,8 +785,113 @@ class Executor:
             yield from extend(0)
 
     # ------------------------------------------------------------------
+    # Array semijoin kernels
+    # ------------------------------------------------------------------
+    def _column_kernel(self, table: str, position: int):
+        """The backend's column array snapshot, or None if unsupported."""
+        backend = self._database.table(table).backend
+        kernel_of = getattr(backend, "column_kernel", None)
+        if kernel_of is None:
+            return None
+        return kernel_of(table, position)
+
+    def _edge_kernel(self, step: _ProbeStep):
+        """A cached aligned :class:`~repro.query.kernels.EdgeKernel` for
+        one probe step, or None when the step cannot run vectorized."""
+        existing = self._column_kernel(step.existing_table, step.existing_position)
+        if existing is None:
+            return None
+        new = self._column_kernel(step.new_table, step.new_position)
+        if new is None:
+            return None
+        if existing.nan_unsafe or new.nan_unsafe:
+            # NaN never equals itself: array membership and the generic
+            # dict-probing path disagree on such keys, so don't vectorize.
+            return None
+        key = (step.existing_table, step.existing_position,
+               step.new_table, step.new_position)
+        cached = self._edge_kernels.get(key)
+        if (
+            cached is not None
+            and cached.existing is existing
+            and cached.new is new
+        ):
+            return cached
+        edge = _kernels.EdgeKernel(existing, new)
+        self._edge_kernels[key] = edge
+        return edge
+
+    def _kernel_edges(self, plan: _JoinPlan) -> Optional[list]:
+        """Per-step edge kernels when the whole plan can run vectorized.
+
+        Returns None — falling back to the generic streaming path — when
+        numpy is unavailable, a step is not a plain probe step, a table's
+        backend exposes no array kernels, or a join-key column is NaN
+        unsafe.  An empty list (single-table plan) is valid: with no
+        steps, a non-empty pushdown already proves existence.
+        """
+        if _kernels is None:
+            return None
+        if not any(
+            self._database.table(table).num_rows >= KERNEL_MIN_ROWS
+            for table in self._plan_tables(plan)
+        ):
+            return None
+        edges = []
+        for step in plan.steps:
+            if not isinstance(step, _ProbeStep):
+                return None
+            edge = self._edge_kernel(step)
+            if edge is None:
+                return None
+            edges.append(edge)
+        return edges
+
+    @staticmethod
+    def _plan_tables(plan: _JoinPlan):
+        yield plan.start_table
+        for step in plan.steps:
+            if isinstance(step, _ProbeStep):
+                yield step.new_table
+
+    def _selection_mask(self, table: str, selection):
+        """A pushed-down selection as a row bitmask (None = every row)."""
+        if selection is None:
+            return None
+        return _kernels.selection_mask(
+            self._database.table(table).num_rows, selection
+        )
+
+    # ------------------------------------------------------------------
     # Batched join evaluation
     # ------------------------------------------------------------------
+    def _run_batch_any(
+        self, plan: _JoinPlan, probe_selections: Sequence[dict[str, set[int]]]
+    ) -> int:
+        """Decide a batch via semijoin kernels, else the generic walk.
+
+        The kernel route decides each probe with its own vectorized
+        semijoin sweep (cached edge kernels make the unconstrained folds
+        free across probes).  Accounting matches :meth:`_run_batch`
+        exactly: per probe step one join-index hit/build plus one
+        ``joins_performed`` for the whole batch, nothing per probe.
+        """
+        edges = self._kernel_edges(plan)
+        if edges is None:
+            return self._run_batch(plan, probe_selections)
+        for step in plan.steps:
+            self._join_index(step.new_table, step.new_position)
+            self.stats.joins_performed += 1
+        satisfied = 0
+        for bit, sets in enumerate(probe_selections):
+            masks = {
+                table: self._selection_mask(table, selection)
+                for table, selection in sets.items()
+            }
+            if _kernels.semijoin_exists(plan.start_table, plan.steps, edges, masks):
+                satisfied |= 1 << bit
+        return satisfied
+
     def _run_batch(
         self, plan: _JoinPlan, probe_selections: Sequence[dict[str, set[int]]]
     ) -> int:

@@ -1,0 +1,385 @@
+"""Randomized differential harness: python vs numpy backend vs reference.
+
+The NumPy kernel backend (ISSUE 9 tentpole) is only trustworthy if it is
+*observationally identical* to the pure-Python :class:`ColumnStore` — not
+"close", but bit for bit, including the executor's accounting counters.
+This suite proves that the same way the planner was proven
+(:mod:`tests.integration.test_planner_differential`): seeded random
+databases built cell-for-cell identically on both backends, random
+project-join workloads over them, and three-way equality against the
+naive reference oracle (:mod:`repro.query.reference`) at every level —
+
+* ``execute`` / ``exists`` / ``exists_batch`` outcomes, with full
+  :class:`~repro.query.executor.ExecutionStats` equality between the two
+  executors (the kernel path is accounting-transparent by design);
+* the same equalities again **after randomized append sequences** are
+  applied identically to both databases (long-lived executors span the
+  appends, so join-index invalidation and kernel revalidation are under
+  test, not just cold caches);
+* end-to-end discovery: identical SQL and identical non-timing stats
+  across backends, and identical SQL to a brute-force reference decision
+  over the same candidate set;
+* the incremental artifact path: ``ArtifactStore.refresh`` on a
+  numpy-backed database matches a cold rebuild, and both match the
+  python-backed equivalents.
+
+The generated databases deliberately concentrate the storage edge cases:
+NULLs in join keys and predicate columns, an empty table (which first
+gains rows mid-test), a single-row table, unicode text, duplicate
+low-cardinality join keys (int *and* text), dangling foreign keys, and
+numeric-looking TEXT values.  ``KERNEL_MIN_ROWS`` is pinned to 0 so the
+tiny test tables still take the kernel path wherever it is eligible.
+
+Actual ``float('nan')`` cells are deliberately absent: the python store
+preserves object identity (making ``nan in [nan]`` membership true)
+while any array store must round-trip through C doubles — NaN columns
+are therefore *excluded* from the kernel path entirely, which
+``tests/storage`` covers directly.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+import repro.query.executor as executor_module
+from repro.dataset import Column, Database, DataType
+from repro.discovery.candidates import GenerationLimits
+from repro.discovery.engine import Prism
+from repro.query.executor import BatchProbe, Executor
+from repro.query.reference import execute_reference, exists_reference
+from repro.query.sql import to_sql
+from repro.api import ArtifactStore
+from repro.storage import BACKEND_ENV_VAR, make_backend
+from repro.workloads.degrade import ResolutionLevel, spec_for_level
+from repro.workloads.generator import WorkloadGenerator
+from repro.datasets.synthetic import generate_synthetic_database
+from tests.conftest import build_company_database
+from tests.integration.test_planner_differential import (
+    _random_predicates,
+    _random_queries,
+    _reference_confirms,
+)
+from tests.service.test_artifact_refresh import (
+    _append_random_batch,
+    _assert_bundles_equivalent,
+    _specs,
+)
+
+_BACKENDS = ("python", "numpy")
+
+# The acceptance bar: >= 20 seeded random databases, each also exercised
+# in its post-append (delta) states.
+_SEEDS = list(range(20))
+
+# Unicode-heavy, deliberately collision-prone text vocabulary.
+_NAMES = [
+    "Ada", "ada", "café", "CAFÉ", "北京", "naïve", "Ω-mega", "O'Brien",
+    "zulu", "",
+]
+# Numeric/boolean-*looking* TEXT values (they stay strings end to end).
+_CODES = ["1", "2", "3", "0123", "3.14", "true", "False", "NaN"]
+_KINDS = ["café", "北京", "naïve", "Ω"]
+
+
+@pytest.fixture(autouse=True)
+def force_kernels(monkeypatch):
+    """Tiny differential databases must still exercise the kernel path."""
+    monkeypatch.setattr(executor_module, "KERNEL_MIN_ROWS", 0)
+
+
+# ----------------------------------------------------------------------
+# Seeded edge-case database pairs
+# ----------------------------------------------------------------------
+def _maybe(rng: random.Random, value, null_probability: float = 0.15):
+    return None if rng.random() < null_probability else value
+
+
+def _person_row(rng: random.Random, row_id: int) -> tuple:
+    return (
+        row_id,
+        _maybe(rng, rng.choice(_NAMES)),
+        _maybe(rng, rng.choice(_CODES), 0.1),
+        _maybe(rng, round(rng.uniform(-50.0, 50.0), 2), 0.2),
+        _maybe(rng, 0, 0.1),
+    )
+
+
+def _event_row(rng: random.Random, row_id: int, num_people: int) -> tuple:
+    # person_id ranges past num_people: duplicate *and* dangling keys.
+    return (
+        row_id,
+        _maybe(rng, rng.randrange(num_people + 4)),
+        _maybe(rng, rng.choice(_KINDS), 0.1),
+        _maybe(rng, rng.randrange(-5, 6)),
+    )
+
+
+def _tag_row(rng: random.Random, num_events: int) -> tuple:
+    return (
+        _maybe(rng, rng.randrange(num_events + 4)),
+        _maybe(rng, rng.choice(_CODES), 0.1),
+        _maybe(rng, rng.randrange(100)),
+    )
+
+
+def _empty_row(rng: random.Random, row_id: int) -> tuple:
+    return (row_id, _maybe(rng, 0), _maybe(rng, rng.choice(_NAMES)))
+
+
+def _content(rng: random.Random) -> dict[str, list[tuple]]:
+    """One seeded database's rows — generated once, inserted per backend."""
+    num_people = rng.randint(18, 30)
+    num_events = rng.randint(24, 48)
+    group_names = rng.sample(_CODES, k=rng.randint(4, len(_CODES)))
+    group_names.append(rng.choice(group_names))  # a duplicate parent key
+    return {
+        "Hub": [(0, rng.choice(_NAMES))],  # the single-row table
+        "Group": [
+            (name, rng.randrange(1, 9)) for name in group_names
+        ],
+        "Person": [_person_row(rng, i) for i in range(num_people)],
+        "Event": [
+            _event_row(rng, i, num_people) for i in range(num_events)
+        ],
+        "Tag": [
+            _tag_row(rng, num_events) for __ in range(rng.randint(24, 48))
+        ],
+        "Empty": [],  # gains its first rows only mid-test (post-append)
+    }
+
+
+def _build(kind: str, content: dict[str, list[tuple]]) -> Database:
+    database = Database(f"diff-{kind}", backend=make_backend(kind))
+    database.create_table("Hub", [
+        Column("id", DataType.INT, primary_key=True),
+        Column("name", DataType.TEXT),
+    ])
+    database.create_table("Group", [
+        Column("name", DataType.TEXT),
+        Column("size", DataType.INT),
+    ])
+    database.create_table("Person", [
+        Column("id", DataType.INT, primary_key=True),
+        Column("name", DataType.TEXT),
+        Column("code", DataType.TEXT),
+        Column("score", DataType.DECIMAL),
+        Column("hub_id", DataType.INT),
+    ])
+    database.create_table("Event", [
+        Column("id", DataType.INT, primary_key=True),
+        Column("person_id", DataType.INT),
+        Column("kind", DataType.TEXT),
+        Column("points", DataType.INT),
+    ])
+    database.create_table("Tag", [
+        Column("event_id", DataType.INT),
+        Column("label", DataType.TEXT),
+        Column("weight", DataType.INT),
+    ])
+    database.create_table("Empty", [
+        Column("id", DataType.INT),
+        Column("hub_id", DataType.INT),
+        Column("note", DataType.TEXT),
+    ])
+    for table_name, rows in content.items():
+        database.table(table_name).insert_many(rows)
+    database.link("Person.hub_id", "Hub.id")
+    database.link("Person.code", "Group.name")  # text ⋈ text edge
+    database.link("Event.person_id", "Person.id")
+    database.link("Tag.event_id", "Event.id")
+    database.link("Empty.hub_id", "Hub.id")
+    return database
+
+
+def _database_pair(seed: int) -> dict[str, Database]:
+    content = _content(random.Random(seed))
+    return {kind: _build(kind, content) for kind in _BACKENDS}
+
+
+def _grow_identically(rng: random.Random, databases: list[Database]) -> None:
+    """Apply one randomized append sequence to every database equally."""
+    reference = databases[0]
+    num_people = reference.table("Person").num_rows
+    num_events = reference.table("Event").num_rows
+    batch: dict[str, list[tuple]] = {
+        "Person": [
+            _person_row(rng, num_people + i)
+            for i in range(rng.randint(1, 4))
+        ],
+        "Event": [
+            _event_row(rng, num_events + i, num_people)
+            for i in range(rng.randint(1, 5))
+        ],
+        "Tag": [_tag_row(rng, num_events) for __ in range(rng.randint(1, 5))],
+        # The empty table gains its very first rows here: new dictionary
+        # entries and join-index state created *after* caches are warm.
+        "Empty": [_empty_row(rng, i) for i in range(rng.randint(0, 3))],
+    }
+    for database in databases:
+        for table_name, rows in batch.items():
+            database.table(table_name).insert_many(rows)
+
+
+# ----------------------------------------------------------------------
+# Executor-level triple equality (>= 20 seeds, pre- and post-append)
+# ----------------------------------------------------------------------
+def _assert_paths_agree(python_db, numpy_db, python_executor,
+                        numpy_executor, workloads, batches) -> None:
+    for query, predicates in workloads:
+        fast = python_executor.execute(query, cell_predicates=predicates)
+        vectorized = numpy_executor.execute(query, cell_predicates=predicates)
+        naive = execute_reference(python_db, query, cell_predicates=predicates)
+        assert vectorized == fast
+        assert sorted(map(repr, fast)) == sorted(map(repr, naive))
+        expected = exists_reference(numpy_db, query, predicates)
+        assert python_executor.exists(query, cell_predicates=predicates) \
+            == expected
+        assert numpy_executor.exists(query, cell_predicates=predicates) \
+            == expected
+    for batch in batches:
+        expected = [
+            exists_reference(python_db, probe.query, probe.cell_predicates)
+            for probe in batch
+        ]
+        assert python_executor.exists_batch(batch) == expected
+        assert numpy_executor.exists_batch(batch) == expected
+    # The kernel path must be invisible in the executor's accounting.
+    assert numpy_executor.stats == python_executor.stats
+
+
+@pytest.mark.parametrize("seed", _SEEDS)
+def test_probe_paths_agree_across_backends(seed):
+    pair = _database_pair(seed)
+    python_db, numpy_db = pair["python"], pair["numpy"]
+    rng = random.Random(seed * 1_000 + 17)
+    queries = _random_queries(python_db, rng, count=8)
+    workloads = [
+        (query, _random_predicates(python_db, query, rng))
+        for query in queries
+    ]
+    batches = [
+        [
+            BatchProbe(query, _random_predicates(python_db, query, rng))
+            for __ in range(3)
+        ]
+        for query in queries[::2]
+    ]
+
+    # Long-lived executors: the second phase runs on warm plan caches,
+    # join indexes and edge kernels that the appends must invalidate.
+    python_executor, numpy_executor = Executor(python_db), Executor(numpy_db)
+    _assert_paths_agree(python_db, numpy_db, python_executor,
+                        numpy_executor, workloads, batches)
+
+    grow_rng = random.Random(seed * 977 + 5)
+    for __ in range(2):
+        _grow_identically(grow_rng, [python_db, numpy_db])
+        _assert_paths_agree(python_db, numpy_db, python_executor,
+                            numpy_executor, workloads, batches)
+
+
+# ----------------------------------------------------------------------
+# Discovery-level equality (SQL + stats) across backends and reference
+# ----------------------------------------------------------------------
+_LIMITS = GenerationLimits(
+    max_candidates=80, max_assignments=160, max_trees_per_assignment=4
+)
+_VOLATILE_STATS = (
+    "elapsed_seconds",
+    "related_column_seconds",
+    "candidate_seconds",
+    "validation_seconds",
+)
+
+
+@pytest.mark.parametrize("seed,level", [
+    (11, ResolutionLevel.EXACT),
+    (29, ResolutionLevel.MIXED),
+    (53, ResolutionLevel.EXACT),
+])
+def test_discovery_is_identical_across_backends(seed, level):
+    engines = {
+        kind: Prism(
+            generate_synthetic_database(
+                num_tables=4,
+                rows_per_table=40,
+                topology="random",
+                seed=seed,
+                backend=make_backend(kind),
+            ),
+            limits=_LIMITS,
+            time_limit=60.0,
+        )
+        for kind in _BACKENDS
+    }
+    python_engine, numpy_engine = engines["python"], engines["numpy"]
+    python_db = generate_synthetic_database(
+        num_tables=4, rows_per_table=40, topology="random", seed=seed,
+        backend=make_backend("python"),
+    )
+    generator = WorkloadGenerator(python_db, seed=seed)
+    for __ in range(2):
+        case = generator.generate_case(num_columns=3, num_tables=2)
+        spec = spec_for_level(
+            case, level, python_db, catalog=python_engine.catalog, seed=seed
+        )
+        got = numpy_engine.discover(spec, scheduler="bayesian")
+        want = python_engine.discover(spec, scheduler="bayesian")
+        assert got.sql() == want.sql()
+
+        got_stats, want_stats = got.stats.as_dict(), want.stats.as_dict()
+        for volatile in _VOLATILE_STATS:
+            got_stats.pop(volatile, None)
+            want_stats.pop(volatile, None)
+        assert got_stats == want_stats
+
+        # Both agree with the brute-force reference decision over the
+        # numpy engine's own candidate set — closing the triangle.
+        reference_sqls = sorted(
+            to_sql(candidate.query)
+            for candidate in numpy_engine.candidate_queries(spec)
+            if _reference_confirms(python_db, spec, candidate.query)
+        )
+        assert sorted(got.sql()) == reference_sqls
+
+
+# ----------------------------------------------------------------------
+# Incremental artifacts: refresh vs rebuild equivalence on numpy
+# ----------------------------------------------------------------------
+class TestNumpyRefreshEquivalence:
+    @pytest.mark.parametrize("seed", [7, 41])
+    def test_refresh_matches_cold_build_and_python_backend(
+        self, seed, monkeypatch
+    ):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "numpy")
+        numpy_db = build_company_database()
+        assert type(numpy_db.table("Employee")._backend).__name__ \
+            == "NumpyColumnStore"
+        monkeypatch.setenv(BACKEND_ENV_VAR, "python")
+        python_db = build_company_database()
+
+        store = ArtifactStore(max_delta_fraction=0.9)
+        store.get(numpy_db)
+        numpy_rng, python_rng = random.Random(seed), random.Random(seed)
+        for __ in range(3):
+            _append_random_batch(numpy_rng, numpy_db)
+            _append_random_batch(python_rng, python_db)
+            refreshed = store.refresh(numpy_db)
+        assert store.stats.refreshes == 3
+        assert store.stats.rebuild_fallbacks == 0
+        assert store.stats.delta_rows_applied > 0
+
+        # The numpy delta path matches a cold numpy build, and both
+        # match the identically-grown python-backed database's build.
+        cold = ArtifactStore().build(numpy_db)
+        _assert_bundles_equivalent(refreshed, cold)
+        python_cold = ArtifactStore().build(python_db)
+        _assert_bundles_equivalent(refreshed, python_cold)
+
+        for spec in _specs():
+            got = Prism.from_artifacts(refreshed).discover(spec)
+            want = Prism.from_artifacts(python_cold).discover(spec)
+            assert got.sql() == want.sql()
+            assert got.num_queries == want.num_queries

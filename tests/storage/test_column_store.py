@@ -1,4 +1,9 @@
-"""Unit tests for the columnar storage backend."""
+"""Unit tests for the columnar storage backends.
+
+Every test runs against both the pure-Python :class:`ColumnStore` and the
+NumPy-backed store — the whole point of the array backend is that no
+observable behavior here may differ.
+"""
 
 from __future__ import annotations
 
@@ -8,12 +13,14 @@ from repro.dataset.schema import Column
 from repro.dataset.table import Table
 from repro.dataset.types import DataType
 from repro.errors import SchemaError
-from repro.storage import ColumnStore
+from repro.storage import make_backend
+
+_BACKENDS = ("python", "numpy")
 
 
-@pytest.fixture()
-def store_and_table():
-    backend = ColumnStore()
+@pytest.fixture(params=_BACKENDS)
+def store_and_table(request):
+    backend = make_backend(request.param)
     table = Table(
         "Cities",
         [
@@ -133,8 +140,9 @@ class TestBackendLifecycle:
         with pytest.raises(SchemaError):
             Table("Cities", [Column("X", DataType.INT)], backend=backend)
 
-    def test_unknown_table_rejected(self):
-        backend = ColumnStore()
+    @pytest.mark.parametrize("kind", _BACKENDS)
+    def test_unknown_table_rejected(self, kind):
+        backend = make_backend(kind)
         with pytest.raises(SchemaError):
             backend.num_rows("Ghost")
 

@@ -14,10 +14,20 @@ import threading
 from repro.dataset.schema import Column
 from repro.dataset.table import Table
 from repro.dataset.types import DataType
-from repro.storage import ColumnStore
+from repro.storage import StorageBackend, make_backend
+
+import pytest
+
+# Both stores publish caches copy-on-write and must pass identically.
+_BACKENDS = ("python", "numpy")
 
 
-def _make_table(backend: ColumnStore, rows: int = 500) -> Table:
+@pytest.fixture(params=_BACKENDS)
+def backend(request):
+    return make_backend(request.param)
+
+
+def _make_table(backend: StorageBackend, rows: int = 500) -> Table:
     table = Table(
         "Events",
         [
@@ -44,8 +54,7 @@ def _run_threads(workers, timeout: float = 60.0) -> list[str]:
 
 
 class TestConcurrentReaders:
-    def test_racing_join_index_builds_are_consistent(self):
-        backend = ColumnStore()
+    def test_racing_join_index_builds_are_consistent(self, backend):
         table = _make_table(backend)
         num_threads = 8
         barrier = threading.Barrier(num_threads)
@@ -71,8 +80,7 @@ class TestConcurrentReaders:
         assert backend.has_cached_join_index("Events", 1)
         assert table.join_index("Kind") is results[0]
 
-    def test_racing_rows_cache_builds_are_consistent(self):
-        backend = ColumnStore()
+    def test_racing_rows_cache_builds_are_consistent(self, backend):
         table = _make_table(backend, rows=200)
         num_threads = 8
         barrier = threading.Barrier(num_threads)
@@ -90,8 +98,7 @@ class TestConcurrentReaders:
         _run_threads([reader] * num_threads)
         assert not errors
 
-    def test_readers_race_one_writer_without_corruption(self):
-        backend = ColumnStore()
+    def test_readers_race_one_writer_without_corruption(self, backend):
         table = _make_table(backend, rows=100)
         stop = threading.Event()
         errors: list[str] = []
@@ -139,8 +146,7 @@ class TestConcurrentReaders:
         final = table.join_index("Id")
         assert sum(len(bucket) for bucket in final.values()) == 400
 
-    def test_concurrent_version_token_reads_with_writes(self):
-        backend = ColumnStore()
+    def test_concurrent_version_token_reads_with_writes(self, backend):
         table = _make_table(backend, rows=10)
         database_versions: list[int] = []
         stop = threading.Event()

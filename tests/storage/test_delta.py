@@ -4,12 +4,28 @@ from __future__ import annotations
 
 from repro.dataset.schema import Column
 from repro.dataset.types import DataType
-from repro.storage import ColumnStore, TableDelta, TableMark
+import pytest
+
+from repro.storage import TableDelta, TableMark, make_backend
 from repro.storage.delta import NO_DICTIONARY
 
+# The delta contract is backend-observable behavior: both stores must
+# mark, snapshot and reject identically.
+_BACKENDS = ("python", "numpy")
 
-def _store_with_rows():
-    store = ColumnStore()
+
+@pytest.fixture(params=_BACKENDS)
+def store_kind(request):
+    return request.param
+
+
+@pytest.fixture
+def store(store_kind):
+    return _store_with_rows(store_kind)
+
+
+def _store_with_rows(kind="python"):
+    store = make_backend(kind)
     store.register_table("T", [
         Column("Name", DataType.TEXT),
         Column("Score", DataType.INT, nullable=True),
@@ -20,8 +36,7 @@ def _store_with_rows():
 
 
 class TestTableMark:
-    def test_mark_captures_state(self):
-        store = _store_with_rows()
+    def test_mark_captures_state(self, store):
         mark = store.table_mark("T")
         assert isinstance(mark, TableMark)
         assert mark.table == "T"
@@ -40,16 +55,14 @@ class TestTableMark:
 
 
 class TestDeltaSince:
-    def test_empty_delta_for_unchanged_table(self):
-        store = _store_with_rows()
+    def test_empty_delta_for_unchanged_table(self, store):
         mark = store.table_mark("T")
         delta = store.delta_since("T", mark)
         assert isinstance(delta, TableDelta)
         assert delta.num_rows == 0
         assert delta.start_row == delta.end_row == 3
 
-    def test_delta_covers_appended_rows_and_dictionary_entries(self):
-        store = _store_with_rows()
+    def test_delta_covers_appended_rows_and_dictionary_entries(self, store):
         mark = store.table_mark("T")
         store.append_row("T", ("gamma", 4))
         store.append_row("T", ("alpha", None))
@@ -70,8 +83,7 @@ class TestDeltaSince:
         assert (chained.start_row, chained.end_row) == (5, 6)
         assert chained.columns[0].new_dictionary_entries == ("delta",)
 
-    def test_delta_values_are_snapshots(self):
-        store = _store_with_rows()
+    def test_delta_values_are_snapshots(self, store):
         mark = store.table_mark("T")
         store.append_row("T", ("gamma", 4))
         delta = store.delta_since("T", mark)
@@ -81,16 +93,14 @@ class TestDeltaSince:
         assert delta.columns[0].values == ("gamma",)
         assert delta.columns[1].values == (4,)
 
-    def test_mark_for_different_layout_is_rejected(self):
-        store = _store_with_rows()
+    def test_mark_for_different_layout_is_rejected(self, store, store_kind):
         mark = store.table_mark("T")
-        other = ColumnStore()
+        other = make_backend(store_kind)
         other.register_table("T", [Column("Name", DataType.TEXT)])
         other.append_row("T", ("x",))
         assert other.delta_since("T", mark) is None
 
-    def test_drop_and_recreate_is_rejected(self):
-        store = _store_with_rows()
+    def test_drop_and_recreate_is_rejected(self, store):
         mark = store.table_mark("T")
         store.drop_table("T")
         store.register_table("T", [
@@ -102,8 +112,7 @@ class TestDeltaSince:
         # version is also behind the mark's): no delta.
         assert store.delta_since("T", mark) is None
 
-    def test_drop_and_recreate_with_more_rows_is_rejected(self):
-        store = _store_with_rows()
+    def test_drop_and_recreate_with_more_rows_is_rejected(self, store):
         mark = store.table_mark("T")
         store.drop_table("T")
         store.register_table("T", [
@@ -117,10 +126,9 @@ class TestDeltaSince:
         # the first three rows were replaced, not kept.
         assert store.delta_since("T", mark) is None
 
-    def test_store_token_survives_pickling(self):
+    def test_store_token_survives_pickling(self, store):
         import pickle
 
-        store = _store_with_rows()
         mark = store.table_mark("T")
         copy = pickle.loads(pickle.dumps(store))
         # The unpickled copy shares the original's append lineage, so a
@@ -131,10 +139,9 @@ class TestDeltaSince:
         assert delta.num_rows == 1
         assert delta.columns[0].values == ("delta",)
 
-    def test_mark_from_the_future_is_rejected(self):
-        store = _store_with_rows()
+    def test_mark_from_the_future_is_rejected(self, store, store_kind):
         future = store.table_mark("T")
-        fresh = ColumnStore()
+        fresh = make_backend(store_kind)
         fresh.register_table("T", [
             Column("Name", DataType.TEXT),
             Column("Score", DataType.INT, nullable=True),
