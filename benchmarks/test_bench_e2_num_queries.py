@@ -6,9 +6,16 @@ not increase much (unless when there were too many missing values)."
 The benchmark runs the same resolution sweep as E1 but reports the number
 of satisfying queries per level; the table is written to
 ``benchmarks/reports/e2_num_queries.txt``.
+
+The sweep runs under a *deterministic* budget — no wall-clock limit
+(``time_limit=math.inf``) and a count-based validation cap that never
+binds at this workload size — so the committed report is byte-stable
+across machines and load conditions.
 """
 
 from __future__ import annotations
+
+import math
 
 import pytest
 
@@ -28,6 +35,8 @@ def test_e2_num_satisfying_queries(benchmark, engine, mondial_db, cases):
             cases,
             levels=DEFAULT_SWEEP_LEVELS,
             scheduler="bayesian",
+            time_limit=math.inf,
+            validation_budget=10_000,
             limits=BENCH_LIMITS,
             engine=engine,
         )

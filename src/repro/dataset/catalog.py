@@ -14,6 +14,7 @@ from typing import Any, Mapping, Optional
 
 from repro.dataset.database import Database
 from repro.dataset.schema import ColumnRef
+from repro.dataset.sketches import ColumnSketches, build_column_sketches
 from repro.dataset.types import DataType
 from repro.errors import ArtifactError, SchemaError
 
@@ -73,6 +74,12 @@ class MetadataCatalog:
         # dictionary itself is the distinct set.
         self._distinct_values: dict[ColumnRef, set] = {}
         self._numeric_moments: dict[ColumnRef, tuple[float, float]] = {}
+        # Statistics sketches (HyperLogLog / Bloom / equi-depth histogram)
+        # per column; see repro.dataset.sketches.  Maintained alongside the
+        # exact statistics: built vectorized over ColumnKernel snapshots
+        # when the backend provides them, folded through apply_delta(),
+        # and pickled with the catalog into artifact bundles and shards.
+        self._sketches: dict[ColumnRef, ColumnSketches] = {}
         #: Artifact key of the database this catalog was built from (empty
         #: for hand-assembled catalogs); see :meth:`Database.artifact_key`.
         self.built_from: tuple = ()
@@ -88,11 +95,17 @@ class MetadataCatalog:
         """
         catalog = cls()
         catalog.built_from = database.artifact_key()
+        join_keys = set()
+        for fk in database.foreign_keys:
+            join_keys.add(ColumnRef(fk.child_table, fk.child_column))
+            join_keys.add(ColumnRef(fk.parent_table, fk.parent_column))
         for table in database:
             catalog._table_rows[table.name] = table.num_rows
-            for column in table.columns:
+            kernel_of = getattr(table.backend, "column_kernel", None)
+            for position, column in enumerate(table.columns):
                 ref = ColumnRef(table.name, column.name)
                 stats = None
+                dictionary = None
                 if column.data_type is DataType.TEXT:
                     dictionary = table.text_dictionary(column.name)
                     if dictionary is not None:
@@ -102,11 +115,22 @@ class MetadataCatalog:
                             row_count=table.num_rows,
                             null_count=table.null_count(column.name),
                         )
+                values = None
                 if stats is None:
-                    stats = catalog._collect(
-                        ref, column.data_type, table.column_values(column.name)
-                    )
+                    values = table.column_values(column.name)
+                    stats = catalog._collect(ref, column.data_type, values)
                 catalog._stats[ref] = stats
+                kernel = None
+                if dictionary is None and kernel_of is not None:
+                    kernel = kernel_of(table.name, position)
+                catalog._sketches[ref] = build_column_sketches(
+                    column.data_type,
+                    values=values,
+                    kernel=kernel,
+                    dictionary=dictionary,
+                    distinct_hint=stats.distinct_count,
+                    want_bloom=ref in join_keys,
+                )
         return catalog
 
     @staticmethod
@@ -225,17 +249,33 @@ class MetadataCatalog:
             raise ArtifactError(
                 "this catalog predates incremental maintenance; rebuild it"
             )
+        sketch_map = getattr(self, "_sketches", None)
         for table_name, delta in deltas.items():
             table = database.table(table_name)
             for column, column_delta in zip(table.columns, delta.columns):
                 ref = ColumnRef(table_name, column.name)
                 old = self.stats(ref)
-                if column_delta.is_text and column_delta.dictionary is not None:
+                text_delta = (
+                    column_delta.is_text and column_delta.dictionary is not None
+                )
+                if text_delta:
                     self._stats[ref] = self._fold_text_delta(old, column_delta)
                 else:
                     self._stats[ref] = self._fold_generic_delta(
                         ref, old, column_delta
                     )
+                sketches = sketch_map.get(ref) if sketch_map else None
+                if sketches is not None:
+                    # HLL registers and Bloom bits fold to exactly the
+                    # state a cold rebuild would reach (max/or are
+                    # order-insensitive); histogram boundaries stay fixed,
+                    # only bucket counts grow.
+                    if text_delta:
+                        for entry in column_delta.new_dictionary_entries:
+                            sketches.fold_distinct_value(entry)
+                    else:
+                        for value in column_delta.non_null_values:
+                            sketches.fold_value(value)
             self._table_rows[table_name] = delta.end_row
         self.built_from = built_from
 
@@ -365,6 +405,14 @@ class MetadataCatalog:
     def has_column(self, ref: ColumnRef) -> bool:
         """Whether statistics exist for ``ref``."""
         return ref in self._stats
+
+    def sketches(self, ref: ColumnRef) -> Optional[ColumnSketches]:
+        """Statistics sketches for one column, or ``None`` when absent
+        (hand-assembled catalogs, bundles built before sketches existed)."""
+        sketch_map = getattr(self, "_sketches", None)
+        if not sketch_map:
+            return None
+        return sketch_map.get(ref)
 
     def table_row_count(self, table: str) -> int:
         """Number of rows recorded for ``table`` at build time."""

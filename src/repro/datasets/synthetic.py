@@ -8,6 +8,7 @@ The generator is deterministic given its seed.
 
 from __future__ import annotations
 
+import bisect
 import random
 from typing import Literal, Optional
 
@@ -37,6 +38,8 @@ def generate_synthetic_database(
     seed: int = 0,
     name: str = "synthetic",
     backend: Optional[StorageBackend] = None,
+    skew: float = 0.0,
+    dangling_fk_fraction: float = 0.0,
 ) -> Database:
     """Generate a synthetic relational database.
 
@@ -56,11 +59,25 @@ def generate_synthetic_database(
         backend: storage backend for the generated tables (the process
             default when omitted) — differential tests generate the same
             seeded database once per backend under comparison.
+        skew: Zipf exponent for foreign-key values.  ``0.0`` (the
+            default) keeps the historical uniform draw; larger values
+            concentrate references on low parent ids (``s≈1`` is classic
+            Zipf), giving joins the hot-key/long-tail shape real data
+            has and making sketch-based cardinality estimates diverge
+            from uniform-containment ones.
+        dangling_fk_fraction: fraction of foreign-key values (in
+            ``[0, 1]``) pointing *past* the parent table's id range —
+            dangling references that can never join.  Bloom filters on
+            the parent key detect these without probing.
     """
     if num_tables < 1:
         raise WorkloadError("num_tables must be at least 1")
     if rows_per_table < 1:
         raise WorkloadError("rows_per_table must be at least 1")
+    if skew < 0:
+        raise WorkloadError("skew must be non-negative")
+    if not 0.0 <= dangling_fk_fraction <= 1.0:
+        raise WorkloadError("dangling_fk_fraction must be in [0, 1]")
     rng = random.Random(seed)
     database = Database(name, backend=backend)
 
@@ -74,6 +91,26 @@ def generate_synthetic_database(
             parents[index] = rng.randint(0, index - 1)
         else:
             raise WorkloadError(f"unknown topology: {topology!r}")
+
+    # Inverse-CDF table for the Zipf draw over parent ids, built lazily
+    # (every non-root table shares the same parent-id range).  Kept off
+    # the rng stream entirely when skew is 0 so the default databases are
+    # byte-identical to the generator's historical output.
+    zipf_cdf: list[float] = []
+    if skew > 0:
+        total = 0.0
+        for rank in range(rows_per_table):
+            total += (rank + 1.0) ** -skew
+            zipf_cdf.append(total)
+        zipf_cdf = [weight / total for weight in zipf_cdf]
+
+    def draw_parent_id(parent_rows: int) -> int:
+        if dangling_fk_fraction > 0 and rng.random() < dangling_fk_fraction:
+            # Past the end of the parent's id range: never joins.
+            return rng.randint(parent_rows, 2 * parent_rows - 1)
+        if skew > 0:
+            return bisect.bisect_left(zipf_cdf, rng.random())
+        return rng.randint(0, parent_rows - 1)
 
     for index in range(num_tables):
         columns = [
@@ -95,7 +132,7 @@ def generate_synthetic_database(
                 round(rng.uniform(0.0, 1_000.0), 2),
             ]
             if index in parents:
-                row.append(rng.randint(0, parent_rows - 1))
+                row.append(draw_parent_id(parent_rows))
             for __ in range(extra_columns):
                 row.append(rng.choice(_WORDS))
             table.insert(row)

@@ -63,6 +63,7 @@ class Prism:
         train_bayesian: bool = True,
         batch_validation: bool = True,
         *,
+        use_sketches: bool = True,
         index: Optional[InvertedIndex] = None,
         catalog: Optional[MetadataCatalog] = None,
         schema_graph: Optional[SchemaGraph] = None,
@@ -93,6 +94,12 @@ class Prism:
                 either way; disabling it forces the per-candidate
                 execution path (used by benchmarks and differential
                 tests).
+            use_sketches: consult the catalog's statistics sketches
+                (HyperLogLog join estimates, Bloom probe pre-filtering,
+                histogram selectivity, sketch-informed scheduling cost).
+                Discovered queries are identical either way; only plan
+                choices and probe work change.  Off is the raw-count
+                baseline the sketch benchmark compares against.
             index: prebuilt inverted index for ``database``.
             catalog: prebuilt metadata catalog for ``database``.
             schema_graph: prebuilt schema graph for ``database``.
@@ -113,7 +120,10 @@ class Prism:
         # The executor plans with the catalog's cardinalities; its
         # physical plans are keyed by canonical plan hash and therefore
         # shared across every candidate joining the same structure.
-        self.executor = Executor(database, catalog=self.catalog)
+        self.use_sketches = use_sketches
+        self.executor = Executor(
+            database, catalog=self.catalog, use_sketches=use_sketches
+        )
         self.limits = limits or GenerationLimits()
         self.batch_validation = batch_validation
         self.models: Optional[BayesianModelSet] = None
@@ -170,6 +180,7 @@ class Prism:
         scheduler: Optional[str] = None,
         time_limit: Optional[float] = None,
         raise_on_timeout: bool = False,
+        validation_budget: Optional[int] = None,
     ) -> DiscoveryResult:
         """Discover every schema mapping query satisfying ``spec``.
 
@@ -177,8 +188,18 @@ class Prism:
             spec: the user's multiresolution constraints.
             scheduler: override the engine's default scheduling policy.
             time_limit: override the engine's time budget (seconds).
+                ``math.inf`` is accepted: combined with a
+                ``validation_budget`` it makes a run's work — and all its
+                counters — fully deterministic (no wall-clock cutoffs),
+                which is how the benchmark harness pins byte-stable
+                reports.
             raise_on_timeout: raise :class:`DiscoveryTimeout` instead of
                 returning a partial, ``timed_out`` result.
+            validation_budget: optional cap on the number of filter
+                validations this run may execute; the scheduler stops
+                (reporting ``timed_out``) when the cap is reached.  A
+                count-based budget, unlike the wall-clock limit, is
+                deterministic across runs and machines.
 
         Returns:
             A :class:`DiscoveryResult` whose queries are guaranteed to match
@@ -234,6 +255,8 @@ class Prism:
             estimator=self._estimator,
             deadline=deadline,
             batch=self.batch_validation,
+            max_validations=validation_budget,
+            planner=self.executor.planner if self.use_sketches else None,
         )
         executor_before = replace(self.executor.stats)
         scheduling = driver.run()
@@ -266,6 +289,13 @@ class Prism:
         )
         stats.plan_cache_builds = (
             executor_after.plan_cache_builds - executor_before.plan_cache_builds
+        )
+        stats.bloom_rejections = (
+            executor_after.bloom_rejections - executor_before.bloom_rejections
+        )
+        stats.sketch_estimates_used = (
+            executor_after.sketch_estimates_used
+            - executor_before.sketch_estimates_used
         )
         stats.validation_batches = validator.stats.batches
         stats.batched_outcomes = validator.stats.batched_outcomes

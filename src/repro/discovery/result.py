@@ -37,6 +37,8 @@ class DiscoveryStats:
     joins_performed: int = 0
     plan_cache_hits: int = 0
     plan_cache_builds: int = 0
+    bloom_rejections: int = 0
+    sketch_estimates_used: int = 0
     validation_batches: int = 0
     batched_outcomes: int = 0
     elapsed_seconds: float = 0.0
@@ -63,6 +65,8 @@ class DiscoveryStats:
             "joins_performed": self.joins_performed,
             "plan_cache_hits": self.plan_cache_hits,
             "plan_cache_builds": self.plan_cache_builds,
+            "bloom_rejections": self.bloom_rejections,
+            "sketch_estimates_used": self.sketch_estimates_used,
             "validation_batches": self.validation_batches,
             "batched_outcomes": self.batched_outcomes,
             "elapsed_seconds": self.elapsed_seconds,

@@ -25,6 +25,7 @@ still-undecided candidates the filter would prune.
 
 from __future__ import annotations
 
+import math
 import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
@@ -78,11 +79,13 @@ class _DriverContext:
         spec: MappingSpec,
         estimator: Optional[SelectivityEstimator],
         validator: FilterValidator,
+        planner: Optional[Planner] = None,
     ):
         self.filter_set = filter_set
         self.spec = spec
         self.estimator = estimator
         self.validator = validator
+        self.planner = planner
         self.undecided_candidates: set[int] = set()
         self.top_filter_ids: set[int] = filter_set.top_filter_ids()
         self._max_join_size = max(
@@ -92,6 +95,39 @@ class _DriverContext:
     def impact(self, filter_: Filter) -> int:
         """Number of still-undecided candidates this filter could prune."""
         return len(filter_.candidate_ids & self.undecided_candidates)
+
+    def cost(self, filter_: Filter) -> float:
+        """Estimated validation cost of one filter.
+
+        Without a planner this is the classic structural unit
+        ``1 + join_size``.  With one (the engine passes its executor's
+        planner when sketches are on), the filter's estimated join
+        cardinality — memoized per join structure, HLL-informed when
+        sketches exist — is added on a log scale: probing a join whose
+        sketched key overlap is near-empty dies almost immediately
+        (early-terminating semijoins), while a high-overlap join streams
+        a large intermediate result.  The log damping reflects that
+        early termination makes probe cost sublinear in result size.
+        """
+        base = self.structural_cost(filter_)
+        planner = self.planner
+        if planner is None:
+            return base
+        try:
+            rows = planner.structure_rows(filter_.query)
+        except Exception:
+            return base
+        return base + math.log2(1.0 + max(rows, 0.0))
+
+    @staticmethod
+    def structural_cost(filter_: Filter) -> float:
+        """The classic structural validation-cost unit, ``1 + join_size``.
+
+        The oracle policy ranks by this regardless of sketches: the
+        "optimum" is the paper's fixed reference point, so its choices
+        must not move when the estimator changes.
+        """
+        return 1.0 + filter_.join_size
 
     def cell_constraints(self, filter_: Filter) -> dict[int, object]:
         """Cell constraints keyed by projection index within the filter."""
@@ -119,7 +155,7 @@ class SchedulingPolicy(ABC):
         """Pick one filter from ``pending`` (guaranteed non-empty)."""
 
     def _cost(self, filter_: Filter) -> float:
-        """Crude validation-cost unit shared by the heuristic policies."""
+        """Structural validation-cost unit (no statistics)."""
         return 1.0 + filter_.join_size
 
 
@@ -135,7 +171,13 @@ class NaivePolicy(SchedulingPolicy):
 
 
 class PathLengthPolicy(SchedulingPolicy):
-    """The "Filter" baseline: failure probability ∝ join-path length."""
+    """The "Filter" baseline: failure probability ∝ join-path length.
+
+    As the prior-work reference point it ranks by the structural cost
+    unit only — the sketch-informed cost is Prism's improvement and
+    feeding it to the baseline would blur the comparison the paper
+    makes (and can even push the baseline past the greedy oracle).
+    """
 
     name = "filter"
 
@@ -144,7 +186,11 @@ class PathLengthPolicy(SchedulingPolicy):
 
         def score(filter_: Filter) -> float:
             failure_probability = (filter_.join_size + 1.0) / denominator
-            return failure_probability * context.impact(filter_) / self._cost(filter_)
+            return (
+                failure_probability
+                * context.impact(filter_)
+                / context.structural_cost(filter_)
+            )
 
         return max(pending, key=lambda f: (score(f), -f.id))
 
@@ -162,7 +208,7 @@ class BayesianPolicy(SchedulingPolicy):
             failure_probability = context.estimator.failure_probability(
                 filter_.query, context.cell_constraints(filter_)
             )
-            return failure_probability * context.impact(filter_) / self._cost(filter_)
+            return failure_probability * context.impact(filter_) / context.cost(filter_)
 
         return max(pending, key=lambda f: (score(f), -f.id))
 
@@ -187,7 +233,9 @@ class OptimalPolicy(SchedulingPolicy):
         if failing:
             return max(
                 failing,
-                key=lambda f: (context.impact(f), -self._cost(f), -f.id),
+                key=lambda f: (
+                    context.impact(f), -context.structural_cost(f), -f.id,
+                ),
             )
         tops = [
             filter_
@@ -195,7 +243,7 @@ class OptimalPolicy(SchedulingPolicy):
             if filter_.id in context.top_filter_ids and context.impact(filter_) > 0
         ]
         pool = tops or list(pending)
-        return min(pool, key=lambda f: (self._cost(f), f.id))
+        return min(pool, key=lambda f: (context.structural_cost(f), f.id))
 
 
 POLICY_NAMES = ("naive", "filter", "bayesian", "optimal")
@@ -251,6 +299,8 @@ class ValidationDriver:
         deadline: Optional[float] = None,
         batch: bool = True,
         batch_size: Optional[int] = None,
+        max_validations: Optional[int] = None,
+        planner: Optional[Planner] = None,
     ):
         self._filter_set = filter_set
         self._validator = validator
@@ -261,6 +311,12 @@ class ValidationDriver:
         self._batch_size = (
             batch_size if batch_size is not None else self.DEFAULT_BATCH_SIZE
         )
+        # Deterministic alternative to the wall-clock deadline: stop after
+        # this many scheduling decisions (reported as timed_out).
+        self._max_validations = max_validations
+        # Optional cost oracle: policies fold the planner's (sketch-backed)
+        # join-cardinality estimates into their cost denominators.
+        self._planner = planner
 
     def run(self) -> SchedulingResult:
         """Run validation to completion (or until the deadline)."""
@@ -277,7 +333,9 @@ class ValidationDriver:
             candidate.id: "undecided" for candidate in filter_set.candidates
         }
 
-        context = _DriverContext(filter_set, spec, self._estimator, self._validator)
+        context = _DriverContext(
+            filter_set, spec, self._estimator, self._validator, self._planner
+        )
         # Filters sharing one join structure, grouped once up front —
         # the candidates for each batched validation pass.
         prefix_groups = (
@@ -314,6 +372,12 @@ class ValidationDriver:
             if not remaining:
                 break
             if self._deadline is not None and time.monotonic() > self._deadline:
+                result.timed_out = True
+                break
+            if (
+                self._max_validations is not None
+                and result.validations >= self._max_validations
+            ):
                 result.timed_out = True
                 break
             pending = [

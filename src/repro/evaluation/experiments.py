@@ -80,6 +80,7 @@ def run_resolution_sweep(
     levels: Sequence[ResolutionLevel] = DEFAULT_SWEEP_LEVELS,
     scheduler: str = "bayesian",
     time_limit: float = 60.0,
+    validation_budget: Optional[int] = None,
     seed: int = 0,
     limits: Optional[GenerationLimits] = None,
     engine: Optional[Prism] = None,
@@ -96,7 +97,12 @@ def run_resolution_sweep(
     for case in cases:
         for level in levels:
             spec = spec_for_level(case, level, database, catalog=catalog, seed=seed)
-            result = engine.discover(spec, scheduler=scheduler, time_limit=time_limit)
+            result = engine.discover(
+                spec,
+                scheduler=scheduler,
+                time_limit=time_limit,
+                validation_budget=validation_budget,
+            )
             rows.append(
                 {
                     "case": case.case_id,
@@ -152,6 +158,7 @@ def run_scheduler_comparison(
     level: ResolutionLevel = ResolutionLevel.MIXED,
     schedulers: Sequence[str] = _DEFAULT_SCHEDULERS,
     time_limit: float = 60.0,
+    validation_budget: Optional[int] = None,
     seed: int = 0,
     limits: Optional[GenerationLimits] = None,
     engine: Optional[Prism] = None,
@@ -171,7 +178,12 @@ def run_scheduler_comparison(
         per_scheduler: dict[str, int] = {}
         num_queries: dict[str, int] = {}
         for scheduler in schedulers:
-            result = engine.discover(spec, scheduler=scheduler, time_limit=time_limit)
+            result = engine.discover(
+                spec,
+                scheduler=scheduler,
+                time_limit=time_limit,
+                validation_budget=validation_budget,
+            )
             per_scheduler[scheduler] = result.stats.validations
             num_queries[scheduler] = result.num_queries
             row[f"validations_{scheduler}"] = result.stats.validations
@@ -228,6 +240,7 @@ def run_scalability_sweep(
     level: ResolutionLevel = ResolutionLevel.EXACT,
     scheduler: str = "bayesian",
     time_limit: float = 60.0,
+    validation_budget: Optional[int] = None,
     seed: int = 0,
     limits: Optional[GenerationLimits] = None,
 ) -> list[dict]:
@@ -247,7 +260,10 @@ def run_scalability_sweep(
                     case, level, database, catalog=engine.catalog, seed=seed
                 )
                 result = engine.discover(
-                    spec, scheduler=scheduler, time_limit=time_limit
+                    spec,
+                    scheduler=scheduler,
+                    time_limit=time_limit,
+                    validation_budget=validation_budget,
                 )
                 rows.append(
                     {
@@ -277,6 +293,7 @@ def run_baseline_comparison(
         ResolutionLevel.SPARSE,
     ),
     time_limit: float = 60.0,
+    validation_budget: Optional[int] = None,
     seed: int = 0,
     limits: Optional[GenerationLimits] = None,
 ) -> list[dict]:
@@ -299,7 +316,9 @@ def run_baseline_comparison(
                 baseline_found = any(
                     case.matches_query(query) for query in baseline_result.queries
                 )
-            prism_result = engine.discover(spec, time_limit=time_limit)
+            prism_result = engine.discover(
+                spec, time_limit=time_limit, validation_budget=validation_budget
+            )
             rows.append(
                 {
                     "case": case.case_id,
@@ -322,6 +341,7 @@ def run_metadata_ablation(
     database: Database,
     cases: Sequence[WorkloadCase],
     time_limit: float = 60.0,
+    validation_budget: Optional[int] = None,
     seed: int = 0,
     limits: Optional[GenerationLimits] = None,
 ) -> list[dict]:
@@ -339,7 +359,9 @@ def run_metadata_ablation(
         spec_without = MappingSpec(spec_with.num_columns, samples=spec_with.samples)
         for label, spec in (("with_metadata", spec_with),
                             ("without_metadata", spec_without)):
-            result = engine.discover(spec, time_limit=time_limit)
+            result = engine.discover(
+                spec, time_limit=time_limit, validation_budget=validation_budget
+            )
             rows.append(
                 {
                     "case": case.case_id,

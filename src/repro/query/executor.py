@@ -57,6 +57,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Iterator, Mapping, Optional, Sequence
 
 from repro.dataset.database import Database
+from repro.dataset.schema import ColumnRef as _ColumnRef
 from repro.errors import QueryError
 from repro.query.pj_query import ProjectJoinQuery
 from repro.query.plan import (
@@ -93,6 +94,12 @@ MAX_PLAN_CACHE_ENTRIES = 10_000
 # kernels onto arbitrarily small databases).
 KERNEL_MIN_ROWS = 256
 
+# Bloom pre-filtering only probes selections at most this large: the
+# pushed-down selections it can kill cheaply are small by construction,
+# and a fixed row-count cap keeps the decision identical across backends
+# and independent of wall-clock.
+BLOOM_PROBE_MAX_ROWS = 2048
+
 
 @dataclass
 class ExecutionStats:
@@ -110,6 +117,12 @@ class ExecutionStats:
     plan_cache_builds: int = 0
     batch_executions: int = 0
     batched_probes: int = 0
+    #: Probe rows discarded because a join-key Bloom filter proved their
+    #: key absent from the opposite side of an edge (see _bloom_prune).
+    bloom_rejections: int = 0
+    #: Planner estimates that came from statistics sketches (HLL join
+    #: overlap, histogram selectivity) rather than raw catalog counts.
+    sketch_estimates_used: int = 0
 
     def merge(self, other: "ExecutionStats") -> None:
         """Accumulate another stats object into this one."""
@@ -125,6 +138,8 @@ class ExecutionStats:
         self.plan_cache_builds += other.plan_cache_builds
         self.batch_executions += other.batch_executions
         self.batched_probes += other.batched_probes
+        self.bloom_rejections += other.bloom_rejections
+        self.sketch_estimates_used += other.sketch_estimates_used
 
 
 @dataclass(frozen=True)
@@ -208,7 +223,13 @@ class _ResolvedFilter:
 class Executor:
     """Evaluates Project-Join queries by lowering optimized logical plans."""
 
-    def __init__(self, database: Database, catalog: Optional[object] = None):
+    def __init__(
+        self,
+        database: Database,
+        catalog: Optional[object] = None,
+        *,
+        use_sketches: bool = True,
+    ):
         """Create an executor.
 
         Args:
@@ -216,10 +237,25 @@ class Executor:
             catalog: optional :class:`~repro.dataset.catalog.MetadataCatalog`
                 handed to the planner for cardinality-based join
                 ordering; without one the planner uses live row counts.
+            use_sketches: consult the catalog's statistics sketches —
+                HLL-informed join estimates in the planner and Bloom
+                pre-filtering of existence probes.  Outcomes are
+                identical either way; only plan choices and probe work
+                change.
         """
         self._database = database
-        self.planner = Planner(database, catalog)
+        self._catalog = catalog
+        self._use_sketches = use_sketches
         self.stats = ExecutionStats()
+        self.planner = Planner(
+            database, catalog, use_sketches=use_sketches, stats=self.stats
+        )
+        # Bloom pre-filtering is only sound while the catalog describes
+        # the database exactly (appends after build could introduce keys
+        # the filters have never seen); cache the staleness check per
+        # artifact key.
+        self._bloom_key: Optional[tuple] = None
+        self._bloom_fresh = False
         # Physical plans keyed by canonical join-structure hash, so
         # every query over the same structure — across candidates and
         # across differing projections — shares one lowered plan.
@@ -323,6 +359,9 @@ class Executor:
         if prepared is None:
             return False
         selections, plan = prepared
+        selections = self._bloom_prune(selections, plan)
+        if selections is None:
+            return False
         edges = self._kernel_edges(plan)
         if edges is not None:
             for step in plan.steps:
@@ -386,6 +425,7 @@ class Executor:
 
         plan: Optional[_JoinPlan] = None
         pushdown_cache: dict[tuple, frozenset[int]] = {}
+        bloom_keep_cache: dict = {}
         survivors: list[tuple[int, dict[str, frozenset[int]]]] = []
         for index in pending:
             probe = probes[index]
@@ -407,7 +447,11 @@ class Executor:
                 continue
             if plan is None:
                 plan = self._plan(query)
-            survivors.append((index, constrained))
+            pruned = self._bloom_prune_sets(constrained, plan, bloom_keep_cache)
+            if pruned is None:
+                outcomes[index] = False
+                continue
+            survivors.append((index, pruned))
 
         if survivors:
             assert plan is not None
@@ -579,6 +623,155 @@ class Executor:
                     return None
             constrained[table_name] = combined
         return constrained
+
+    # ------------------------------------------------------------------
+    # Bloom pre-filtering of existence probes
+    # ------------------------------------------------------------------
+    def _bloom_ready(self) -> bool:
+        """Whether join-key Bloom filters may prune probe rows.
+
+        True only when sketches are enabled, the catalog carries them,
+        and — the soundness guard — the catalog was built from (or
+        delta-folded up to) exactly the database's current artifact key:
+        a filter that has not seen every row of a column could otherwise
+        report a genuinely present key as absent.
+        """
+        if not self._use_sketches or self._catalog is None:
+            return False
+        if getattr(self._catalog, "sketches", None) is None:
+            return False
+        key = self._database.artifact_key()
+        if key != self._bloom_key:
+            self._bloom_key = key
+            self._bloom_fresh = (
+                getattr(self._catalog, "built_from", None) == key
+            )
+        return self._bloom_fresh
+
+    def _bloom_for(self, table: str, position: int):
+        """The catalog's Bloom filter over one join-key column, if any."""
+        column = self._database.table(table).columns[position].name
+        sketches = self._catalog.sketches(_ColumnRef(table, column))
+        return sketches.bloom if sketches is not None else None
+
+    def _bloom_prune(
+        self, selections: dict[str, Any], plan: _JoinPlan
+    ) -> Optional[dict[str, Any]]:
+        """Drop pushed-down rows whose join key a Bloom filter proves
+        absent from the opposite endpoint of an edge.
+
+        For every probe step, each side with a small selection checks its
+        key values against the *other* side's filter; rows with NULL keys
+        or provably absent keys cannot take part in any full assignment,
+        so removing them (``bloom_rejections``) never changes an
+        existence outcome — and an emptied selection decides the probe
+        ``False`` (returns ``None``) before any join structure is built.
+        The filter has no false negatives, so surviving rows are a
+        superset of the joinable ones.
+        """
+        if not self._bloom_ready():
+            return selections
+        for step in plan.steps:
+            if not isinstance(step, _ProbeStep):
+                continue
+            sides = (
+                (step.existing_table, step.existing_position,
+                 step.new_table, step.new_position),
+                (step.new_table, step.new_position,
+                 step.existing_table, step.existing_position),
+            )
+            for table, position, other_table, other_position in sides:
+                selection = selections.get(table)
+                if selection is None or len(selection) > BLOOM_PROBE_MAX_ROWS:
+                    continue
+                bloom = self._bloom_for(other_table, other_position)
+                if bloom is None:
+                    continue
+                kept = self._bloom_keep(table, position, selection, bloom)
+                rejected = len(selection) - len(kept)
+                if rejected:
+                    self.stats.bloom_rejections += rejected
+                    if not kept:
+                        return None
+                    selections[table] = kept
+        return selections
+
+    def _bloom_prune_sets(
+        self,
+        constrained: dict[str, frozenset[int]],
+        plan: _JoinPlan,
+        keep_cache: Optional[dict] = None,
+    ) -> Optional[dict[str, frozenset[int]]]:
+        """Set-shaped :meth:`_bloom_prune` for the batched probe path.
+
+        Probes of one batch share pushed-down selections (the pushdown
+        cache returns one frozenset per distinct constraint tag), so the
+        per-(step-side, selection) filter checks are memoized in
+        ``keep_cache`` across the whole batch; ``bloom_rejections`` is
+        still counted per probe, exactly as the uncached path would.
+        """
+        if not self._bloom_ready():
+            return constrained
+        selections = dict(constrained)
+        for step in plan.steps:
+            if not isinstance(step, _ProbeStep):
+                continue
+            sides = (
+                (step.existing_table, step.existing_position,
+                 step.new_table, step.new_position),
+                (step.new_table, step.new_position,
+                 step.existing_table, step.existing_position),
+            )
+            for table, position, other_table, other_position in sides:
+                selection = selections.get(table)
+                if selection is None or len(selection) > BLOOM_PROBE_MAX_ROWS:
+                    continue
+                cache_key = (
+                    table, position, other_table, other_position, selection
+                )
+                kept = (
+                    keep_cache.get(cache_key)
+                    if keep_cache is not None
+                    else None
+                )
+                if kept is None:
+                    bloom = self._bloom_for(other_table, other_position)
+                    if bloom is None:
+                        continue
+                    kept = frozenset(
+                        self._bloom_keep(table, position, selection, bloom)
+                    )
+                    if keep_cache is not None:
+                        keep_cache[cache_key] = kept
+                rejected = len(selection) - len(kept)
+                if rejected:
+                    self.stats.bloom_rejections += rejected
+                    if not kept:
+                        return None
+                    selections[table] = kept
+        return selections
+
+    def _bloom_keep(
+        self, table: str, position: int, selection: Sequence[int], bloom
+    ) -> list[int]:
+        """The subset of ``selection`` whose key might be in ``bloom``.
+
+        Vectorized over the column's array kernel when the backend
+        provides one; the scalar fallback hashes the same canonical
+        equality classes, so both routes keep exactly the same rows.
+        """
+        rows = selection if isinstance(selection, list) else sorted(selection)
+        if _kernels is not None:
+            kernel = self._column_kernel(table, position)
+            if kernel is not None and getattr(kernel, "kind", None) == "array":
+                return _kernels.bloom_keep(kernel, rows, bloom)
+        backing = self._database.table(table)
+        read = backing.cell_reader(backing.columns[position].name)
+        return [
+            row
+            for row in rows
+            if (value := read(row)) is not None and bloom.might_contain(value)
+        ]
 
     def _plan(self, query: ProjectJoinQuery) -> _JoinPlan:
         """Lower the optimized join order into concrete probe/filter steps.

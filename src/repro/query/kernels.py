@@ -43,7 +43,9 @@ from typing import Any, Optional
 
 import numpy as np
 
-__all__ = ["EdgeKernel", "selection_mask", "semijoin_exists"]
+from repro.dataset.sketches import hash_values
+
+__all__ = ["EdgeKernel", "bloom_keep", "selection_mask", "semijoin_exists"]
 
 # Row masks are ``np.ndarray`` (bool) or ``None`` meaning "every row".
 _Mask = Optional[np.ndarray]
@@ -55,6 +57,26 @@ def selection_mask(size: int, selection) -> np.ndarray:
     if selection:
         mask[np.fromiter(selection, dtype=np.int64, count=len(selection))] = True
     return mask
+
+
+def bloom_keep(kernel, rows: list, bloom) -> list:
+    """Rows of ``rows`` whose key in ``kernel`` may be in ``bloom``.
+
+    Vectorized pre-filter for the executor's Bloom probe pruning: gathers
+    the selected rows' keys from an array-kind :class:`ColumnKernel`,
+    hashes them through the sketch layer's canonical value hash, and
+    keeps only rows whose key the Bloom filter does not rule out.  NULL
+    keys are dropped (they can never join).  The hash equality classes
+    match the scalar path exactly, so this returns the same subset, in
+    the same order, as a per-row ``bloom.might_contain`` loop.
+    """
+    index = np.fromiter(rows, dtype=np.int64, count=len(rows))
+    valid = kernel.valid[index]
+    keep = valid.copy()
+    if keep.any():
+        hashes = hash_values(kernel.keys[index][valid])
+        keep[valid] = bloom.contains_hashes(hashes)
+    return [row for row, kept in zip(rows, keep.tolist()) if kept]
 
 
 class EdgeKernel:

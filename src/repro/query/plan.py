@@ -77,7 +77,9 @@ class PredicateSpec:
     tag: Hashable = "?"
 
     def __str__(self) -> str:
-        return f"{self.table}.{self.column}⟨{self.tag}⟩"
+        describe = getattr(self.tag, "describe", None)
+        label = describe() if callable(describe) else self.tag
+        return f"{self.table}.{self.column}⟨{label}⟩"
 
 
 @dataclass(frozen=True)

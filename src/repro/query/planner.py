@@ -71,6 +71,9 @@ class Planner:
         self,
         database: Database,
         catalog: Optional[object] = None,
+        *,
+        use_sketches: bool = True,
+        stats: Optional[object] = None,
     ):
         """Create a planner.
 
@@ -80,9 +83,26 @@ class Planner:
                 supplying row and distinct counts.  Without one the
                 planner falls back to live table row counts and default
                 selectivities — still deterministic, just less informed.
+            use_sketches: consult the catalog's statistics sketches
+                (HLL join-key overlap, histograms) when present.  Off,
+                estimation falls back to the raw-count containment
+                model — the baseline the sketch benchmark compares
+                against.
+            stats: optional counter sink (typically the executor's
+                :class:`~repro.query.executor.ExecutionStats`) whose
+                ``sketch_estimates_used`` field is bumped whenever a
+                sketch, rather than raw counts, produced an estimate.
         """
         self._database = database
         self._catalog = catalog
+        self._use_sketches = use_sketches
+        self._stats = stats
+        # Memoized sketch-derived quantities, invalidated when the
+        # catalog folds a delta (built_from changes).
+        self._edge_memo: dict = {}
+        self._structure_memo: dict = {}
+        self._memo_version: object = None
+        self._counting = True
 
     # ------------------------------------------------------------------
     # Cardinality model
@@ -107,18 +127,86 @@ class Planner:
             return None
         return stats.distinct_count
 
+    def _column_sketches(self, table: str, column: str):
+        """The catalog's sketches for one column, or ``None``."""
+        catalog = self._catalog
+        if catalog is None or not self._use_sketches:
+            return None
+        getter = getattr(catalog, "sketches", None)
+        if getter is None:
+            return None
+        try:
+            return getter(ColumnRef(table, column))
+        except Exception:
+            return None
+
+    def _count_sketch_estimate(self) -> None:
+        stats = self._stats
+        if stats is not None and self._counting:
+            stats.sketch_estimates_used += 1
+
+    def _memo_guard(self) -> None:
+        """Drop sketch memos when the catalog has folded a delta."""
+        version = getattr(self._catalog, "built_from", None)
+        if version != self._memo_version:
+            self._edge_memo.clear()
+            self._structure_memo.clear()
+            self._memo_version = version
+
     def filter_selectivity(self, spec: PredicateSpec) -> float:
         """Estimated fraction of rows surviving one pushed predicate.
 
-        A predicate on a column with ``d`` distinct values is assumed to
-        keep ``1/d`` of the rows (an equality-flavoured estimate — most
-        sample-constraint probes are); columns without statistics use
-        :data:`DEFAULT_FILTER_SELECTIVITY`.
+        When the spec's tag is a :class:`~repro.constraints.values.Range`
+        over a column with an equi-depth histogram, selectivity comes
+        from the histogram's quantiles (discounted by the column's NULL
+        fraction).  A ``OneOf`` over ``d`` distinct values keeps ``k/d``.
+        Otherwise a predicate on a column with ``d`` distinct values is
+        assumed to keep ``1/d`` of the rows (an equality-flavoured
+        estimate — most sample-constraint probes are); columns without
+        statistics use :data:`DEFAULT_FILTER_SELECTIVITY`.
         """
+        sketched = self._sketch_filter_selectivity(spec)
+        if sketched is not None:
+            self._count_sketch_estimate()
+            return sketched
+        return self._raw_filter_selectivity(spec)
+
+    def _raw_filter_selectivity(self, spec: PredicateSpec) -> float:
         distinct = self._distinct_count(spec.table, spec.column)
+        width = 1
+        tag = spec.tag
+        if not isinstance(tag, str):
+            values = getattr(tag, "values", None)
+            if isinstance(values, tuple) and values:
+                width = len(values)
         if distinct and distinct > 0:
-            return 1.0 / distinct
+            return min(1.0, width / distinct)
         return DEFAULT_FILTER_SELECTIVITY
+
+    def _sketch_filter_selectivity(
+        self, spec: PredicateSpec
+    ) -> Optional[float]:
+        """Histogram-based selectivity for Range-tagged predicates, or
+        ``None`` when no sketch applies (the raw model decides then)."""
+        tag = spec.tag
+        if isinstance(tag, str) or not hasattr(tag, "matches"):
+            return None
+        low = getattr(tag, "low", None)
+        high = getattr(tag, "high", None)
+        if (low is None and high is None) or not hasattr(tag, "low_inclusive"):
+            return None
+        if isinstance(low, str) or isinstance(high, str):
+            return None
+        sketches = self._column_sketches(spec.table, spec.column)
+        if sketches is None or sketches.histogram is None:
+            return None
+        selectivity = sketches.histogram.selectivity(low, high)
+        try:
+            stats = self._catalog.stats(ColumnRef(spec.table, spec.column))
+            selectivity *= 1.0 - stats.null_fraction
+        except Exception:
+            pass
+        return min(1.0, max(selectivity, 0.0))
 
     def estimated_rows(self, plan: PlanNode) -> float:
         """Estimated output cardinality of any plan node."""
@@ -140,6 +228,40 @@ class Planner:
         raise QueryError(f"cannot estimate unknown plan node {plan!r}")
 
     def _join_rows(self, left_rows: float, right_rows: float, edge: ForeignKey) -> float:
+        rows, _raw, _used = self.join_estimate_detail(
+            left_rows, right_rows, edge
+        )
+        return rows
+
+    def join_estimate_detail(
+        self,
+        left_rows: float,
+        right_rows: float,
+        edge: ForeignKey,
+        count: bool = True,
+    ) -> tuple[float, float, bool]:
+        """``(estimate, raw_estimate, used_sketch)`` for one join edge.
+
+        The raw estimate is the classic containment assumption
+        ``L·R / max(d_child, d_parent)``.  With HLL sketches on both key
+        columns the estimate instead uses the sketched key overlap:
+        merging the two sketches gives ``|keys(L) ∪ keys(R)|``, so by
+        inclusion–exclusion the join predicate's selectivity is
+        ``|∩| / (d_child · d_parent)`` — which collapses toward zero on
+        dangling-key edges where containment badly over-counts.
+        """
+        raw = self._raw_join_rows(left_rows, right_rows, edge)
+        selectivity = self._sketch_edge_selectivity(edge)
+        if selectivity is None:
+            return raw, raw, False
+        if count:
+            self._count_sketch_estimate()
+        estimate = max(left_rows * right_rows * selectivity, 1e-9)
+        return estimate, raw, True
+
+    def _raw_join_rows(
+        self, left_rows: float, right_rows: float, edge: ForeignKey
+    ) -> float:
         child_distinct = self._distinct_count(edge.child_table, edge.child_column)
         parent_distinct = self._distinct_count(edge.parent_table, edge.parent_column)
         candidates = [d for d in (child_distinct, parent_distinct) if d]
@@ -150,6 +272,37 @@ class Planner:
                 float(self.table_rows(edge.parent_table)), 1.0
             )
         return max(left_rows * right_rows / max(denominator, 1.0), 1e-9)
+
+    def _sketch_edge_selectivity(self, edge: ForeignKey) -> Optional[float]:
+        """Sketched join-predicate selectivity ``|∩| / (d_c · d_p)``,
+        memoized per edge until the catalog folds a delta."""
+        self._memo_guard()
+        key = (
+            edge.child_table,
+            edge.child_column,
+            edge.parent_table,
+            edge.parent_column,
+        )
+        if key in self._edge_memo:
+            return self._edge_memo[key]
+        selectivity: Optional[float] = None
+        child = self._column_sketches(edge.child_table, edge.child_column)
+        parent = self._column_sketches(edge.parent_table, edge.parent_column)
+        if (
+            child is not None
+            and parent is not None
+            and child.hll is not None
+            and parent.hll is not None
+        ):
+            child_distinct = child.hll.estimate()
+            parent_distinct = parent.hll.estimate()
+            union = child.hll.union_estimate(parent.hll)
+            overlap = max(0.0, child_distinct + parent_distinct - union)
+            overlap = min(overlap, child_distinct, parent_distinct)
+            denominator = max(child_distinct * parent_distinct, 1.0)
+            selectivity = min(1.0, overlap / denominator)
+        self._edge_memo[key] = selectivity
+        return selectivity
 
     # ------------------------------------------------------------------
     # Optimization
@@ -286,6 +439,57 @@ class Planner:
             node = node.left
         edges_in_order.reverse()
         return JoinOrder(self._input_table(node), tuple(edges_in_order))
+
+    def structure_rows(self, query: ProjectJoinQuery) -> float:
+        """Estimated result cardinality of a query's optimized join
+        structure, memoized per canonical join prefix.
+
+        This is the scheduler's cost signal: validating a filter means
+        probing its join structure, and the sketched estimate prices a
+        dangling- or disjoint-key join as nearly free (its semijoin dies
+        immediately) where raw containment would price it as huge.
+        """
+        self._memo_guard()
+        key = join_prefix_key(query)
+        cached = self._structure_memo.get(key)
+        if cached is None:
+            cached = self.estimated_rows(self.plan_query(query))
+            self._structure_memo[key] = cached
+        return cached
+
+    def node_estimate(self, plan: PlanNode) -> tuple[float, float, str]:
+        """``(rows, raw_rows, source)`` for one plan node's own estimate.
+
+        ``source`` is ``"sketch"`` when sketch statistics (HLL overlap,
+        histogram) decided this node's estimate and ``"raw"`` when the
+        raw-count model did; ``raw_rows`` is what the raw model alone
+        would have produced for the node (its inputs still use the
+        active model).  Used by the explain renderer — never bumps the
+        ``sketch_estimates_used`` counter.
+        """
+        was_counting = self._counting
+        self._counting = False
+        try:
+            rows = self.estimated_rows(plan)
+            if isinstance(plan, Join):
+                left = self.estimated_rows(plan.left)
+                right = self.estimated_rows(plan.right)
+                estimate, raw, used = self.join_estimate_detail(
+                    left, right, plan.edge, count=False
+                )
+                return estimate, raw, "sketch" if used else "raw"
+            if isinstance(plan, Filter):
+                child = self.estimated_rows(plan.child)
+                raw = child
+                used = False
+                for spec in plan.specs:
+                    if self._sketch_filter_selectivity(spec) is not None:
+                        used = True
+                    raw *= self._raw_filter_selectivity(spec)
+                return rows, max(raw, 1e-9), "sketch" if used else "raw"
+            return rows, rows, "raw"
+        finally:
+            self._counting = was_counting
 
     @staticmethod
     def prefix_key(query: ProjectJoinQuery) -> tuple:

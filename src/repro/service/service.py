@@ -289,6 +289,12 @@ class ServiceMetrics:
     #: (see :class:`~repro.discovery.validation.ValidationStats`).
     validation_batches: int = 0
     batched_outcomes: int = 0
+    #: Sketch-layer counters across all completed rounds: probe rows the
+    #: Bloom pre-filter rejected before any join work, and planner
+    #: estimates answered from HLL/histogram sketches instead of raw
+    #: counts (see :class:`~repro.query.executor.ExecutionStats`).
+    bloom_rejections: int = 0
+    sketch_estimates_used: int = 0
     artifacts: dict = field(default_factory=dict)
     #: Process mode only: per-shard breakdown — ``{shard_id: {"served": n,
     #: "artifacts": {...}}}``.  ``artifacts`` above is then the
@@ -316,6 +322,8 @@ class ServiceMetrics:
             "latency_p95_seconds": self.latency_p95_seconds,
             "validation_batches": self.validation_batches,
             "batched_outcomes": self.batched_outcomes,
+            "bloom_rejections": self.bloom_rejections,
+            "sketch_estimates_used": self.sketch_estimates_used,
             "artifacts": dict(self.artifacts),
             "shards": {key: dict(value) for key, value in self.shards.items()},
         }
@@ -623,6 +631,8 @@ class DiscoveryService:
         self._latency_max = 0.0
         self._validation_batches = 0
         self._batched_outcomes = 0
+        self._bloom_rejections = 0
+        self._sketch_estimates_used = 0
         self._shard_served: dict[int, int] = {}
         self._shard_artifacts: dict[int, dict] = {}
         self._request_ids = itertools.count(1)
@@ -899,6 +909,8 @@ class DiscoveryService:
                 latency_count=self._latency_count,
                 validation_batches=self._validation_batches,
                 batched_outcomes=self._batched_outcomes,
+                bloom_rejections=self._bloom_rejections,
+                sketch_estimates_used=self._sketch_estimates_used,
             )
             if self._latency_count:
                 snapshot.latency_mean_seconds = (
@@ -1040,4 +1052,8 @@ class DiscoveryService:
             if response.result is not None:
                 self._validation_batches += response.result.stats.validation_batches
                 self._batched_outcomes += response.result.stats.batched_outcomes
+                self._bloom_rejections += response.result.stats.bloom_rejections
+                self._sketch_estimates_used += (
+                    response.result.stats.sketch_estimates_used
+                )
         ticket._resolve(response)

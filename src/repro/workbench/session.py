@@ -353,8 +353,12 @@ class PrismSession:
                     continue
                 ref = query.projections[position]
                 constraint = row.cell(position)
+                # Tag with the constraint object itself (rendered via its
+                # describe()): the planner's histogram selectivity path
+                # inspects Range bounds, so the explain annotations show
+                # the same sketch-vs-raw estimates validation planned with.
                 specs.append(
-                    PredicateSpec(ref.table, ref.column, tag=constraint.describe())
+                    PredicateSpec(ref.table, ref.column, tag=constraint)
                 )
             if specs:
                 break

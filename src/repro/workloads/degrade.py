@@ -80,11 +80,19 @@ def _distractors(
 ) -> list[Any]:
     """Draw distractor values from the same source column as ``value``."""
     ref = case.ground_truth.projections[position]
-    pool = [
-        candidate
-        for candidate in database.table(ref.table).distinct_values(ref.column)
-        if candidate != value
-    ]
+    # distinct_values returns a set whose iteration order depends on
+    # PYTHONHASHSEED for strings; sort first so the seeded shuffle draws
+    # the same distractors in every run.
+    pool = sorted(
+        (
+            candidate
+            for candidate in database.table(ref.table).distinct_values(
+                ref.column
+            )
+            if candidate != value
+        ),
+        key=repr,
+    )
     if not pool:
         return []
     rng.shuffle(pool)

@@ -152,7 +152,11 @@ class WorkloadGenerator:
         edges: list[ForeignKey] = []
         while len(chosen) < num_tables:
             frontier: list[ForeignKey] = []
-            for table in chosen:
+            # Iterate in sorted order: a set of strings iterates in a
+            # PYTHONHASHSEED-dependent order, which would make the
+            # rng.choice below (and every generated workload) differ
+            # between otherwise identical runs.
+            for table in sorted(chosen):
                 for edge in self._graph.incident_foreign_keys(table):
                     other = (
                         edge.parent_table

@@ -346,6 +346,66 @@ def test_discovery_is_identical_across_backends(seed, level):
 
 
 # ----------------------------------------------------------------------
+# Sketch transparency: estimates steer, they never decide (ISSUE 10)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed,level", [
+    (11, ResolutionLevel.EXACT),
+    (29, ResolutionLevel.MIXED),
+])
+def test_sketches_never_change_discovery_outcomes(seed, level):
+    """Sketch-informed discovery returns bit-for-bit the sketch-free
+    answer on adversarial (skewed, dangling-FK) data on both backends —
+    the Bloom fast path and HLL estimates may reorder and prune work,
+    but never an outcome."""
+    def _adversarial_db(kind):
+        return generate_synthetic_database(
+            num_tables=4,
+            rows_per_table=40,
+            topology="random",
+            seed=seed,
+            skew=1.0,
+            dangling_fk_fraction=0.4,
+            backend=make_backend(kind),
+        )
+
+    python_db = _adversarial_db("python")
+    spec_engine = Prism(python_db, limits=_LIMITS, time_limit=60.0)
+    generator = WorkloadGenerator(python_db, seed=seed)
+    specs = [
+        spec_for_level(
+            generator.generate_case(num_columns=3, num_tables=2),
+            level, python_db, catalog=spec_engine.catalog, seed=seed,
+        )
+        for __ in range(2)
+    ]
+
+    sketch_estimates_used = 0
+    for kind in _BACKENDS:
+        sketched = Prism(_adversarial_db(kind), limits=_LIMITS,
+                         time_limit=60.0)
+        raw = Prism(
+            sketched.database,
+            limits=_LIMITS,
+            time_limit=60.0,
+            use_sketches=False,
+            index=sketched.index,
+            catalog=sketched.catalog,
+            schema_graph=sketched.schema_graph,
+            models=sketched.models,
+        )
+        for spec in specs:
+            got = sketched.discover(spec, scheduler="bayesian")
+            want = raw.discover(spec, scheduler="bayesian")
+            assert got.sql() == want.sql()
+            assert got.num_queries == want.num_queries
+            sketch_estimates_used += got.stats.sketch_estimates_used
+            # The raw engine must be genuinely sketch-free.
+            assert want.stats.sketch_estimates_used == 0
+            assert want.stats.bloom_rejections == 0
+    assert sketch_estimates_used > 0
+
+
+# ----------------------------------------------------------------------
 # Incremental artifacts: refresh vs rebuild equivalence on numpy
 # ----------------------------------------------------------------------
 class TestNumpyRefreshEquivalence:

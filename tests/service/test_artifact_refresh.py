@@ -105,6 +105,29 @@ def _assert_catalogs_equal(refreshed, cold):
             if got_value is not None:
                 assert got_value == pytest.approx(want_value, rel=1e-12,
                                                  abs=1e-9), (ref, field)
+        # Sketches must survive the delta fold: HLL registers fold to
+        # exactly the cold-rebuild state; Bloom bits do too whenever the
+        # cold build sizes the filter the same way (sizing is fixed at
+        # build time from the then-current distinct count, so a rebuild
+        # over a grown column may legitimately pick a larger filter).
+        got_sketches = refreshed.sketches(ref)
+        want_sketches = cold.sketches(ref)
+        assert (got_sketches is None) == (want_sketches is None), ref
+        if got_sketches is not None:
+            assert got_sketches.hll == want_sketches.hll, ref
+            assert (got_sketches.bloom is None) == \
+                (want_sketches.bloom is None), ref
+            if (
+                want_sketches.bloom is not None
+                and got_sketches.bloom.num_bits == want_sketches.bloom.num_bits
+            ):
+                assert got_sketches.bloom == want_sketches.bloom, ref
+            if (
+                want_sketches.histogram is not None
+                and got_sketches.histogram is not None
+            ):
+                assert got_sketches.histogram.total == \
+                    want_sketches.histogram.total, ref
 
 
 def _assert_models_equal(refreshed, cold):
